@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Section V-C's accuracy claim.
+
+Criterion (not merely a shape — the paper claims exactness): Orion and
+mpiBLAST report exactly serial BLAST's alignments — "100% for all the query
+sequences" — and every planted ground-truth homology is recovered.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import run_accuracy
+
+
+def test_accuracy_100_percent(benchmark):
+    result = run_once(benchmark, run_accuracy)
+    print("\n" + result.report.render())
+    benchmark.extra_info.update(result.report.metrics)
+
+    assert result.mpiblast_accuracy == 1.0
+    assert all(acc == 1.0 for acc in result.orion_accuracies)
+    assert result.all_exact
+    assert result.ground_truth_recall == 1.0
+    assert result.serial_count > 0  # the workload actually has alignments

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Fig. 10 — Orion vs BLAST+ on one node.
+
+Shape criteria: BLAST+ wins below a crossover (Hadoop's constant setup
+dominates small queries), Orion wins beyond it, and the crossover falls in
+the paper's neighbourhood (paper ~10 Mbp; accepted band 2–25 Mbp).
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import run_fig10
+
+
+def test_fig10_orion_vs_blastplus(benchmark):
+    result = run_once(benchmark, run_fig10)
+    print("\n" + result.report.render())
+    benchmark.extra_info.update(result.report.metrics)
+
+    # BLAST+ wins on the smallest query (Hadoop setup overhead)
+    assert result.blastplus_times[0] < result.orion_times[0]
+    # Orion wins on the longest query
+    assert result.orion_times[-1] < result.blastplus_times[-1]
+    # the crossover exists and falls near the paper's ~10 Mbp
+    assert result.crossover_paper_mbp is not None
+    assert 2.0 <= result.crossover_paper_mbp <= 25.0

@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Fig. 11 — fragment-length sensitivity (sweet spot).
+
+Shape criteria: the execution-time curve over fragment length is U-shaped
+with an *interior* minimum (the paper's sweet spot; theirs lands at 1.6 Mbp
+for a 14.5 Mbp query, ours within one sweep step of that), and both arms
+rise: tiny fragments pay scheduling overhead, huge fragments lose
+parallelism and cache behaviour.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import run_fig11
+
+
+def test_fig11_fragment_sensitivity(benchmark):
+    result = run_once(benchmark, run_fig11)
+    print("\n" + result.report.render())
+    benchmark.extra_info.update(result.report.metrics)
+
+    assert result.sweet_spot_interior, "minimum must be strictly inside the sweep"
+    # within one geometric step of the paper's 1.6 Mbp
+    sweet_mbp = result.sweet_spot * 1000 / 1e6
+    assert 0.8 <= sweet_mbp <= 3.2, sweet_mbp
+    # both arms rise from the minimum
+    best = min(result.makespans)
+    assert result.makespans[0] > best
+    assert result.makespans[-1] > 2 * best
+    # more fragments => more work units (monotone tradeoff axis)
+    assert result.work_units == sorted(result.work_units, reverse=True)

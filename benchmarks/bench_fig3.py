@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Fig. 3 — mpiBLAST behaviour for long sequences.
+
+Shape criteria: execution time is flat (within ~3×) below the 1 Mbp knee
+and blows up superlinearly beyond it, consistent with the paper's "worsens
+rapidly beyond this threshold of 1 Mbp".
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import run_fig3
+
+
+def test_fig3_mpiblast_long_queries(benchmark):
+    result = run_once(benchmark, run_fig3)
+    print("\n" + result.report.render())
+    benchmark.extra_info.update(result.report.metrics)
+
+    # flat region below the knee
+    assert result.flat_region_ratio < 3.0
+    # rapid worsening beyond: orders of magnitude at 99 Mbp
+    assert result.blowup_ratio > 100
+    # superlinear: growth far exceeds the pure length ratio
+    assert result.superlinearity > 3
+    # monotone in the blow-up region
+    beyond = [m for l, m in zip(result.lengths, result.makespans) if l >= 1000]
+    assert beyond == sorted(beyond)

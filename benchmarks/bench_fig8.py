@@ -1,0 +1,35 @@
+"""Benchmark: regenerate Fig. 8 — Orion vs mpiBLAST execution time.
+
+Shape criteria (paper Section V-C): Orion beats mpiBLAST at every core
+count; the average factor is near the paper's 12.3× (accepted band 6–30×);
+the longest query's factor is near the paper's 23× (band 10–60×); both
+systems get faster with more cores.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import run_fig8
+from repro.bench.shapes import factor_between, is_monotone
+
+_CACHE = {}
+
+
+def fig8_result():
+    if "r" not in _CACHE:
+        _CACHE["r"] = run_fig8()
+    return _CACHE["r"]
+
+
+def test_fig8_orion_vs_mpiblast(benchmark):
+    result = run_once(benchmark, fig8_result)
+    print("\n" + result.report.render())
+    benchmark.extra_info.update(result.report.metrics)
+
+    # Orion wins at every configuration
+    assert all(o < m for o, m in zip(result.orion_makespans, result.mpi_makespans))
+    # roughly the paper's 12.3x average
+    assert factor_between(result.mean_speedup, 6.0, 30.0), result.mean_speedup
+    # roughly the paper's 23x on the longest (71 Mbp) query
+    assert factor_between(result.longest_query_speedup, 10.0, 60.0)
+    # more cores never hurt either system
+    assert is_monotone(result.orion_makespans, increasing=False, tolerance=0.01)
+    assert is_monotone(result.mpi_makespans, increasing=False, tolerance=0.01)

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Fig. 9 — Orion scalability to 1024 cores.
+
+Shape criteria: speedup grows monotonically from 64 to 1024 cores with
+near-constant slope (the paper's "nearly constant parallel efficiency");
+at 1024 cores the speedup is at least the paper's 5×. Our simulator lacks
+real-cluster friction (JVM churn, HDFS contention, stragglers), so absolute
+efficiency runs higher than the paper's — see EXPERIMENTS.md.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import run_fig9
+from repro.bench.shapes import is_monotone
+
+
+def test_fig9_orion_scalability(benchmark):
+    result = run_once(benchmark, run_fig9)
+    print("\n" + result.report.render())
+    benchmark.extra_info.update(result.report.metrics)
+
+    # speedup grows with cores
+    assert is_monotone(result.speedups, increasing=True)
+    # at least the paper's 5x at 1024 vs the 64-core baseline
+    assert result.speedup_at_max >= 5.0
+    # "nearly constant parallel efficiency": efficiency never collapses
+    assert min(result.efficiencies) > 0.3
+    # enough fine-grained work units to feed 1024 cores (paper Section V-G)
+    assert result.num_work_units > 1024

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Section V-H — results on larger databases.
+
+Shape criteria: Orion beats mpiBLAST on both the mouse-scale and NT-scale
+databases by factors in the paper's neighbourhood (paper: ≈13.3× on mouse
+where the query is above the cache knee, ≈5.9× on NT where the win is pure
+work-unit granularity; accepted bands 3–30× and 2–12×).
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import run_largedb
+from repro.bench.shapes import factor_between
+
+
+def test_largedb_mouse_and_nt(benchmark):
+    result = run_once(benchmark, run_largedb)
+    print("\n" + result.report.render())
+    benchmark.extra_info.update(result.report.metrics)
+
+    for case in result.cases:
+        assert case.factor > 1.0, f"Orion must win on {case.name}"
+    assert factor_between(result.factor("mouse"), 3.0, 30.0)
+    assert factor_between(result.factor("nt"), 2.0, 12.0)

@@ -1,0 +1,80 @@
+"""Microbenchmarks: the engine's vectorized kernels.
+
+Not a paper artifact — these track the hot paths the HPC guide says to
+profile (lookup join, ungapped scan, gapped DP row, Smith–Waterman) so
+performance regressions in the kernels are visible independently of the
+experiment harness. These run with real pytest-benchmark statistics
+(multiple rounds), unlike the one-shot experiment benches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.blast.gapped import extend_gapped
+from repro.blast.lookup import QueryIndex, kmer_codes, sorted_kmers
+from repro.blast.seeds import find_seeds
+from repro.blast.smith_waterman import smith_waterman_score
+from repro.blast.ungapped import extend_seeds_ungapped
+from repro.sequence.alphabet import random_bases
+
+
+@pytest.fixture(scope="module")
+def seqs():
+    rng = np.random.default_rng(42)
+    query = random_bases(rng, 100_000)
+    subject = np.concatenate([random_bases(rng, 50_000), query[20_000:40_000],
+                              random_bases(rng, 50_000)])
+    return query, subject
+
+
+def test_kmer_packing(benchmark, seqs):
+    query, _ = seqs
+    packed, valid = benchmark(kmer_codes, query, 11)
+    assert packed.size == query.size - 10
+
+
+def test_query_index_build(benchmark, seqs):
+    query, _ = seqs
+    idx = benchmark(QueryIndex, query, 11)
+    assert idx.num_words > 0
+
+
+def test_seed_lookup(benchmark, seqs):
+    query, subject = seqs
+    idx = QueryIndex(query, 11)
+    hits = benchmark(find_seeds, idx, subject)
+    assert len(hits) > 0
+
+
+def test_seed_lookup_flipped_join(benchmark, seqs):
+    """The Orion fast path: small fragment probing a subject index."""
+    query, subject = seqs
+    fragment = query[20_000:21_600]
+    sindex = sorted_kmers(subject, 11)
+    idx = QueryIndex(fragment, 11)
+    hits = benchmark(find_seeds, idx, subject, subject_index=sindex)
+    assert len(hits) > 0
+
+
+def test_ungapped_extension(benchmark, seqs):
+    query, subject = seqs
+    idx = QueryIndex(query, 11)
+    hits = find_seeds(idx, subject)
+    batch = benchmark(extend_seeds_ungapped, query, subject, hits, 1, -3, 20)
+    assert len(batch) > 0
+
+
+def test_gapped_extension(benchmark, seqs):
+    query, subject = seqs
+    ext = benchmark(
+        extend_gapped, query, subject, 30_000, 60_000, 1, -3, 5, 2, 15
+    )
+    assert ext.score > 1000  # inside the planted 20 kbp identity
+
+
+def test_smith_waterman(benchmark):
+    rng = np.random.default_rng(7)
+    a = random_bases(rng, 600)
+    b = np.concatenate([a[100:400], random_bases(rng, 300)])
+    score = benchmark(smith_waterman_score, a, b, 1, -3, 5, 2)
+    assert score >= 300

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table III — load-balance (task duration CV).
+
+Shape criteria: Orion's per-task durations are far more uniform than
+mpiBLAST's (paper: CV 0.24 vs 0.58, a 2.4× gap; band: gap ≥ 1.5×), and
+Orion's mean task time lands near the paper's 2.10 s (the scan model is
+calibrated from that number — this checks the full pipeline's consistency).
+"""
+
+from benchmarks.bench_fig8 import fig8_result
+from benchmarks.conftest import run_once
+
+
+def test_table3_load_balance(benchmark):
+    result = run_once(benchmark, fig8_result)
+    print("\n" + result.report_table3.render())
+    benchmark.extra_info.update(result.report_table3.metrics)
+
+    t3 = result.table3
+    assert t3["orion_cv"] < t3["mpiblast_cv"] / 1.5, t3
+    assert t3["orion_cv"] < 1.0  # uniform fine-grained units
+    # Orion's mean map/reduce task near the paper's 2.10 s
+    assert 1.0 < t3["orion_mean_s"] < 5.0
+    # mpiBLAST's units are orders of magnitude coarser
+    assert t3["mpiblast_mean_s"] > 20 * t3["orion_mean_s"]

@@ -1,0 +1,38 @@
+"""Experiment harness: regenerate every table and figure in the paper.
+
+Each module in :mod:`repro.bench.experiments` reproduces one evaluation
+artifact (see DESIGN.md §5 for the index). Experiments run real searches on
+scaled synthetic workloads (:mod:`repro.bench.datasets` documents the scale
+map), replay measured work through the cluster simulator, and return both a
+rendered table and the key numbers so benchmarks can assert the paper's
+*shape*: who wins, by roughly what factor, and where crossovers fall
+(:mod:`repro.bench.shapes`).
+"""
+
+from repro.bench.datasets import (
+    DatasetSpec,
+    drosophila_like,
+    human_query,
+    human_query_set,
+    mouse_like,
+    nt_like,
+)
+from repro.bench.shapes import (
+    crossover_point,
+    geometric_mean_ratio,
+    is_monotone,
+    u_shape_minimum,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "drosophila_like",
+    "mouse_like",
+    "nt_like",
+    "human_query",
+    "human_query_set",
+    "crossover_point",
+    "geometric_mean_ratio",
+    "is_monotone",
+    "u_shape_minimum",
+]

@@ -1,0 +1,19 @@
+"""One module per paper artifact (DESIGN.md §5 maps each to its source)."""
+
+from repro.bench.experiments.fig3 import Fig3Result, run_fig3
+from repro.bench.experiments.fig8 import Fig8Result, run_fig8
+from repro.bench.experiments.fig9 import Fig9Result, run_fig9
+from repro.bench.experiments.fig10 import Fig10Result, run_fig10
+from repro.bench.experiments.fig11 import Fig11Result, run_fig11
+from repro.bench.experiments.largedb import LargeDbResult, run_largedb
+from repro.bench.experiments.accuracy import AccuracyResult, run_accuracy
+
+__all__ = [
+    "Fig3Result", "run_fig3",
+    "Fig8Result", "run_fig8",
+    "Fig9Result", "run_fig9",
+    "Fig10Result", "run_fig10",
+    "Fig11Result", "run_fig11",
+    "LargeDbResult", "run_largedb",
+    "AccuracyResult", "run_accuracy",
+]

@@ -1,0 +1,76 @@
+"""Shape assertions: the reproduction's definition of "matches the paper".
+
+Absolute seconds are not comparable between a Python simulator and the
+Gordon supercomputer; the paper's *shape* is — who wins, by roughly what
+factor, where crossovers fall, whether curves are monotone or U-shaped.
+These helpers turn those statements into checkable predicates used by both
+the benchmark suite and EXPERIMENTS.md generation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def geometric_mean_ratio(numerators: Sequence[float], denominators: Sequence[float]) -> float:
+    """Geometric mean of pairwise ratios (the fair "average speedup")."""
+    num = np.asarray(numerators, dtype=np.float64)
+    den = np.asarray(denominators, dtype=np.float64)
+    if num.shape != den.shape or num.size == 0:
+        raise ValueError("inputs must be equal-length and non-empty")
+    if np.any(num <= 0) or np.any(den <= 0):
+        raise ValueError("ratios require positive values")
+    return float(np.exp(np.mean(np.log(num / den))))
+
+
+def is_monotone(values: Sequence[float], increasing: bool = True, tolerance: float = 0.0) -> bool:
+    """Monotonicity up to a relative tolerance (noise allowance)."""
+    vals = list(values)
+    for a, b in zip(vals, vals[1:]):
+        if increasing and b < a * (1.0 - tolerance):
+            return False
+        if not increasing and b > a * (1.0 + tolerance):
+            return False
+    return True
+
+
+def crossover_point(
+    xs: Sequence[float], series_a: Sequence[float], series_b: Sequence[float]
+) -> Optional[float]:
+    """First x at which series_a stops beating series_b (a ≤ b → a > b).
+
+    Used for Fig. 10: BLAST+ (a) beats Orion (b) for small queries, loses
+    beyond the crossover. Returns the x where the sign flips (linear
+    interpolation between the bracketing points) or ``None`` if no flip.
+    """
+    if not (len(xs) == len(series_a) == len(series_b)) or len(xs) < 2:
+        raise ValueError("need three equal-length sequences of length >= 2")
+    diff = [a - b for a, b in zip(series_a, series_b)]
+    for i in range(len(diff) - 1):
+        if diff[i] <= 0 < diff[i + 1]:
+            # interpolate the zero of diff between xs[i] and xs[i+1]
+            span = diff[i + 1] - diff[i]
+            frac = -diff[i] / span if span != 0 else 0.0
+            return float(xs[i] + frac * (xs[i + 1] - xs[i]))
+    return None
+
+
+def u_shape_minimum(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, bool]:
+    """Locate a U-shape's minimum and check it is interior.
+
+    Returns ``(x_at_min, is_interior)`` — Fig. 11's "sweet spot" claim holds
+    when the minimum is strictly inside the swept range.
+    """
+    if len(xs) != len(ys) or len(xs) < 3:
+        raise ValueError("need >= 3 points")
+    idx = int(np.argmin(ys))
+    return float(xs[idx]), 0 < idx < len(xs) - 1
+
+
+def factor_between(value: float, low: float, high: float) -> bool:
+    """Is a measured factor within the accepted band?"""
+    if low > high:
+        raise ValueError(f"empty band [{low}, {high}]")
+    return low <= value <= high

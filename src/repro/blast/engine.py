@@ -1,0 +1,365 @@
+"""The BLAST search engine: seeds → ungapped → gapped → E-filter.
+
+:class:`BlastEngine` is the single alignment engine every runner in this
+reproduction shares — serial BLAST, the mpiBLAST baseline's workers, the
+BLAST+ baseline's threads, and Orion's map tasks all call into it. Orion's
+boundary-aware behaviour (partial flagging, speculative extension) is driven
+entirely through :class:`~repro.blast.params.SearchOptions`, so the engine
+stays a faithful implementation of the paper's Section II-B pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.blast.gapped import extend_gapped
+from repro.blast.hsp import (
+    Alignment,
+    MINUS_STRAND,
+    PLUS_STRAND,
+    path_composition,
+)
+from repro.blast.lookup import QueryIndex
+from repro.blast.params import BlastParams, SearchOptions
+from repro.blast.scoring import ScoringScheme
+from repro.blast.dust import mask_low_complexity
+from repro.blast.seeds import find_seeds, thin_seeds, two_hit_filter
+from repro.blast.statistics import (
+    KarlinAltschulParams,
+    SearchSpace,
+    bit_score,
+    effective_lengths,
+    evalue,
+    karlin_altschul,
+    minimum_significant_score,
+)
+from repro.blast.ungapped import extend_seeds_ungapped
+from repro.sequence.alphabet import reverse_complement
+from repro.sequence.records import Database, SequenceRecord
+from repro.util.timers import Stopwatch
+
+
+@dataclass
+class SearchCounters:
+    """Work counters for one search — the simulator's cost-model inputs."""
+
+    seeds: int = 0
+    ungapped_extensions: int = 0
+    hsps_passing_threshold: int = 0
+    gapped_extensions: int = 0
+    speculative_extensions: int = 0
+    alignments_reported: int = 0
+    subjects_scanned: int = 0
+    elapsed_seconds: float = 0.0
+
+    def merge(self, other: "SearchCounters") -> None:
+        self.seeds += other.seeds
+        self.ungapped_extensions += other.ungapped_extensions
+        self.hsps_passing_threshold += other.hsps_passing_threshold
+        self.gapped_extensions += other.gapped_extensions
+        self.speculative_extensions += other.speculative_extensions
+        self.alignments_reported += other.alignments_reported
+        self.subjects_scanned += other.subjects_scanned
+        self.elapsed_seconds += other.elapsed_seconds
+
+
+@dataclass
+class SearchResult:
+    """Alignments (report-sorted) plus counters for one query-vs-database run."""
+
+    query_id: str
+    alignments: List[Alignment]
+    counters: SearchCounters
+    ungapped_threshold: int
+    space: SearchSpace
+
+    def __len__(self) -> int:
+        return len(self.alignments)
+
+    def top(self, n: int) -> List[Alignment]:
+        return self.alignments[:n]
+
+
+class BlastEngine:
+    """Three-phase BLAST search with the paper's default parameters.
+
+    One engine instance precomputes the Karlin–Altschul parameters for its
+    scoring scheme; statistics depending on query/database lengths (effective
+    lengths, t_u) are derived per search.
+    """
+
+    def __init__(self, params: Optional[BlastParams] = None,
+                 scheme: Optional[ScoringScheme] = None) -> None:
+        self.params = params or BlastParams()
+        self.scheme = scheme or ScoringScheme.from_params(self.params)
+        if (self.scheme.reward, self.scheme.penalty) != (self.params.reward, self.params.penalty):
+            raise ValueError("scoring scheme disagrees with params reward/penalty")
+        self.ka: KarlinAltschulParams = karlin_altschul(self.scheme)
+
+    # ------------------------------------------------------------------ #
+    # statistics helpers
+    # ------------------------------------------------------------------ #
+
+    def search_space(self, query_length: int, db_length: int,
+                     num_db_sequences: int) -> SearchSpace:
+        """Effective search space for E-value computation."""
+        return effective_lengths(self.ka, query_length, db_length, num_db_sequences)
+
+    def ungapped_threshold(self, space: SearchSpace) -> int:
+        """The search's ``t_u`` (Table I's length-dependent threshold)."""
+        if self.params.ungapped_threshold is not None:
+            return self.params.ungapped_threshold
+        return minimum_significant_score(self.ka, self.params.evalue_threshold, space)
+
+    # ------------------------------------------------------------------ #
+    # search
+    # ------------------------------------------------------------------ #
+
+    def search(
+        self,
+        query: SequenceRecord,
+        database: Database,
+        options: Optional[SearchOptions] = None,
+        stats_space: Optional[SearchSpace] = None,
+        strands: str = "plus",
+        subject_kmer_cache: Optional[Dict[str, Tuple[np.ndarray, np.ndarray]]] = None,
+    ) -> SearchResult:
+        """Search one query against every sequence of a database.
+
+        Parameters
+        ----------
+        stats_space:
+            Override for the effective search space. Runners searching a
+            *shard* pass the whole-database space here so E-values (and t_u)
+            match what a serial whole-database search would report — the same
+            correction mpiBLAST applies.
+        strands:
+            ``"plus"`` (default) or ``"both"``. Minus-strand alignments carry
+            query coordinates in the reverse-complement frame (see
+            :class:`~repro.blast.hsp.Alignment`).
+        subject_kmer_cache:
+            Optional subject id → ``sorted_kmers(...)`` pairs. When present
+            for a subject, seeding uses the flipped join (identical results,
+            far less work for small queries) — Orion builds this cache once
+            per database and reuses it across every fragment.
+        """
+        if strands not in ("plus", "both"):
+            raise ValueError(f"strands must be 'plus' or 'both', got {strands!r}")
+        options = options or SearchOptions()
+        space = stats_space or self.search_space(
+            len(query), database.total_length, database.num_sequences
+        )
+        t_u = self.ungapped_threshold(space)
+
+        counters = SearchCounters()
+        sw = Stopwatch().start()
+        alignments: List[Alignment] = []
+        frames: List[Tuple[np.ndarray, int]] = [(query.codes, PLUS_STRAND)]
+        if strands == "both":
+            frames.append((reverse_complement(query.codes), MINUS_STRAND))
+        for codes, strand in frames:
+            # Soft masking: seeds skip low-complexity regions, extensions
+            # still run over the original bases (NCBI DUST behaviour).
+            seed_codes = codes
+            if self.params.dust:
+                seed_codes, _ = mask_low_complexity(codes)
+            index = QueryIndex(seed_codes, self.params.k)
+            for subject in database:
+                alignments.extend(
+                    self._search_subject(
+                        query.seq_id, codes, index, subject, space, t_u,
+                        options, counters, strand,
+                        subject_index=(
+                            subject_kmer_cache.get(subject.seq_id)
+                            if subject_kmer_cache is not None
+                            else None
+                        ),
+                    )
+                )
+                counters.subjects_scanned += 1
+        counters.elapsed_seconds = sw.stop()
+        counters.alignments_reported = len(alignments)
+        alignments.sort(key=Alignment.sort_key)
+        return SearchResult(
+            query_id=query.seq_id,
+            alignments=alignments,
+            counters=counters,
+            ungapped_threshold=t_u,
+            space=space,
+        )
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _search_subject(
+        self,
+        query_id: str,
+        q_codes: np.ndarray,
+        index: QueryIndex,
+        subject: SequenceRecord,
+        space: SearchSpace,
+        t_u: int,
+        options: SearchOptions,
+        counters: SearchCounters,
+        strand: int,
+        subject_index=None,
+    ) -> List[Alignment]:
+        p = self.params
+        # Two-hit pairing must see the raw hits — thinning collapses an
+        # exact run to its head, which would hide the run's later hits.
+        thin = p.two_hit_window is None
+        hits = find_seeds(index, subject.codes, thin=thin, subject_index=subject_index)
+        counters.seeds += len(hits)
+        if p.two_hit_window is not None:
+            hits = thin_seeds(two_hit_filter(hits, p.two_hit_window))
+        if len(hits) == 0:
+            return []
+
+        batch = extend_seeds_ungapped(
+            q_codes, subject.codes, hits, p.reward, p.penalty, p.x_drop_ungapped
+        )
+        counters.ungapped_extensions += len(batch)
+        if len(batch) == 0:
+            return []
+
+        qlen = int(q_codes.shape[0])
+        passing = batch.score >= t_u
+        counters.hsps_passing_threshold += int(np.count_nonzero(passing))
+        speculative = np.zeros(len(batch), dtype=bool)
+        if options.speculative:
+            near_left = options.boundary_left & (batch.q_start < options.boundary_margin)
+            near_right = options.boundary_right & (
+                batch.q_end > qlen - options.boundary_margin
+            )
+            speculative = (~passing) & (near_left | near_right)
+        candidates = passing | speculative
+
+        if not candidates.any():
+            return []
+        sel = np.flatnonzero(candidates)
+        order = sel[np.argsort(-batch.score[sel], kind="stable")]
+
+        reported: List[Alignment] = []
+        covered: List[Tuple[int, int, int, int]] = []  # q/s intervals of alignments
+        for idx in order:
+            if (
+                options.max_hsps_per_subject is not None
+                and len(reported) >= options.max_hsps_per_subject
+            ):
+                break
+            hq = (int(batch.q_start[idx]) + int(batch.q_end[idx])) // 2
+            hs = int(batch.s_start[idx]) + (hq - int(batch.q_start[idx]))
+            if any(qs <= hq < qe and ss <= hs < se for qs, qe, ss, se in covered):
+                continue  # anchor already inside a reported alignment (phase-ii skip)
+            is_spec = bool(speculative[idx])
+            ext = extend_gapped(
+                q_codes, subject.codes, hq, hs,
+                p.reward, p.penalty, p.gap_open, p.gap_extend,
+                p.x_drop_gapped,
+                absolute_drop=is_spec,
+                keep_traceback=options.keep_traceback,
+            )
+            if is_spec:
+                counters.speculative_extensions += 1
+            counters.gapped_extensions += 1
+            if ext.q_end == ext.q_start:  # extension collapsed to nothing
+                continue
+            aln = self._make_alignment(
+                query_id, q_codes, subject, ext, space, strand, is_spec
+            )
+            touches_left = options.boundary_left and aln.q_start < options.boundary_margin
+            touches_right = options.boundary_right and aln.q_end > qlen - options.boundary_margin
+            is_partial = touches_left or touches_right
+            if aln.evalue > p.evalue_threshold and not is_partial:
+                continue  # insignificant and not rescuable by aggregation
+            reported.append(aln)
+            covered.append((aln.q_start, aln.q_end, aln.s_start, aln.s_end))
+        return _dedupe(reported)
+
+    def _make_alignment(
+        self,
+        query_id: str,
+        q_codes: np.ndarray,
+        subject: SequenceRecord,
+        ext,
+        space: SearchSpace,
+        strand: int,
+        speculative: bool = False,
+    ) -> Alignment:
+        matches = mismatches = opens = gap_cols = 0
+        if ext.path is not None:
+            matches, mismatches, opens, gap_cols = path_composition(
+                ext.path, q_codes, subject.codes, ext.q_start, ext.s_start
+            )
+        score = max(0, int(ext.score))
+        return Alignment(
+            query_id=query_id,
+            subject_id=subject.seq_id,
+            q_start=ext.q_start,
+            q_end=ext.q_end,
+            s_start=ext.s_start,
+            s_end=ext.s_end,
+            score=int(ext.score),
+            evalue=evalue(self.ka, score, space),
+            bits=bit_score(self.ka, score),
+            matches=matches,
+            mismatches=mismatches,
+            gap_opens=opens,
+            gap_columns=gap_cols,
+            strand=strand,
+            path=ext.path,
+            speculative=speculative,
+        )
+
+
+def _dedupe(alignments: List[Alignment]) -> List[Alignment]:
+    """Collapse alignments describing the same aligned region."""
+    seen: Dict[Tuple, Alignment] = {}
+    for aln in alignments:
+        key = (aln.subject_id, aln.strand, aln.q_start, aln.q_end, aln.s_start, aln.s_end)
+        prev = seen.get(key)
+        if prev is None or aln.score > prev.score:
+            seen[key] = aln
+    return list(seen.values())
+
+
+def rescore_alignment(
+    aln: Alignment,
+    q_codes: np.ndarray,
+    s_codes: np.ndarray,
+    engine: BlastEngine,
+    space: SearchSpace,
+) -> Alignment:
+    """Recompute score/statistics/composition of an alignment from its path.
+
+    Used by Orion's aggregation after merging partial alignments: the merged
+    path is rescored against the *original* sequences so the reported numbers
+    match what serial BLAST would have printed.
+    """
+    if aln.path is None:
+        raise ValueError("rescoring requires an alignment path")
+    from repro.blast.hsp import score_path  # local import to avoid cycle at module load
+
+    p = engine.params
+    score = score_path(
+        aln.path, q_codes, s_codes, aln.q_start, aln.s_start,
+        p.reward, p.penalty, p.gap_open, p.gap_extend,
+    )
+    matches, mismatches, opens, gap_cols = path_composition(
+        aln.path, q_codes, s_codes, aln.q_start, aln.s_start
+    )
+    stat_score = max(0, score)
+    return replace(
+        aln,
+        score=score,
+        evalue=evalue(engine.ka, stat_score, space),
+        bits=bit_score(engine.ka, stat_score),
+        matches=matches,
+        mismatches=mismatches,
+        gap_opens=opens,
+        gap_columns=gap_cols,
+    )

@@ -1,0 +1,156 @@
+"""k-mer packing and the query lookup index (BLAST phase i substrate).
+
+A k-mer over {A,C,G,T} packs into ``2k`` bits of an int64 (k ≤ 31). The
+query's k-mers are indexed once (sorted codes + positions); scanning a
+subject is then a vectorized sorted-join — no Python-level loop touches
+individual bases, per the HPC guide's "vectorize the hot loop" rule.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.sequence.alphabet import ALPHABET_SIZE
+
+
+def kmer_codes(codes: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Pack every k-window of a code array into int64 keys.
+
+    Returns ``(packed, valid)`` where ``packed[i]`` is the 2-bit packing of
+    ``codes[i:i+k]`` and ``valid[i]`` is False when the window contains an
+    invalid base (``N`` sentinel). Output length is ``len(codes) − k + 1``
+    (empty when the sequence is shorter than k).
+
+    Implementation: a sliding-window *view* (no copy) contracted against the
+    base-4 place-value vector — O(n·k) multiply-adds, all in NumPy.
+    """
+    codes = np.asarray(codes, dtype=np.uint8)
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if k > 31:
+        raise ValueError(f"k={k} exceeds the 62-bit packing limit (31)")
+    n = codes.shape[0]
+    if n < k:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+    windows = np.lib.stride_tricks.sliding_window_view(codes, k)
+    weights = (np.int64(1) << (2 * np.arange(k - 1, -1, -1, dtype=np.int64)))
+    # Invalid sentinel codes (255) would poison the packing; clamp them to 0
+    # for arithmetic and mark the affected windows invalid instead.
+    bad = codes >= ALPHABET_SIZE
+    if bad.any():
+        clean = np.where(bad, np.uint8(0), codes)
+        windows = np.lib.stride_tricks.sliding_window_view(clean, k)
+        bad_prefix = np.concatenate(([0], np.cumsum(bad, dtype=np.int64)))
+        valid = (bad_prefix[k:] - bad_prefix[:-k]) == 0
+    else:
+        valid = np.ones(n - k + 1, dtype=bool)
+    packed = windows.astype(np.int64) @ weights
+    return packed, valid
+
+
+def sorted_kmers(codes: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Sorted (keys, positions) of a sequence's valid k-mers.
+
+    The reusable half of an index: build once per database sequence, join
+    against many query fragments (see :meth:`QueryIndex.lookup_indexed`).
+    """
+    packed, valid = kmer_codes(codes, k)
+    positions = np.flatnonzero(valid).astype(np.int64)
+    keys = packed[positions]
+    order = np.argsort(keys, kind="stable")
+    return keys[order], positions[order]
+
+
+def join_sorted(
+    needle_keys: np.ndarray,
+    needle_pos: np.ndarray,
+    hay_keys: np.ndarray,
+    hay_pos: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All (needle position, haystack position) pairs with equal keys.
+
+    ``hay_keys`` must be sorted (``needle_keys`` need not be). The join is
+    two ``searchsorted`` probes over the needles plus a vectorized range
+    expansion, so putting the *smaller* side in the needles minimizes work.
+    """
+    if needle_keys.size == 0 or hay_keys.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    left = np.searchsorted(hay_keys, needle_keys, side="left")
+    right = np.searchsorted(hay_keys, needle_keys, side="right")
+    counts = right - left
+    hit = counts > 0
+    if not hit.any():
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    starts = left[hit]
+    reps = counts[hit]
+    total = int(reps.sum())
+    seg_offsets = np.repeat(np.cumsum(reps) - reps, reps)
+    flat = np.arange(total, dtype=np.int64) - seg_offsets + np.repeat(starts, reps)
+    return np.repeat(needle_pos[hit], reps), hay_pos[flat]
+
+
+class QueryIndex:
+    """Sorted k-mer index over one query sequence.
+
+    Build once per query (or per Orion fragment), probe with many subjects.
+    ``lookup`` returns every (query position, subject position) pair whose
+    k-mers match exactly — BLAST phase i for nucleotides, where only exact
+    word matches seed (paper Section II-B, footnote 2).
+    """
+
+    def __init__(self, query_codes: np.ndarray, k: int) -> None:
+        self.k = int(k)
+        self.query_length = int(np.asarray(query_codes).shape[0])
+        packed, valid = kmer_codes(query_codes, k)
+        positions = np.flatnonzero(valid).astype(np.int64)
+        keys = packed[positions]
+        order = np.argsort(keys, kind="stable")
+        self._sorted_keys = keys[order]
+        self._sorted_positions = positions[order]
+
+    @property
+    def num_words(self) -> int:
+        """Number of indexed (valid) query k-mers."""
+        return int(self._sorted_keys.shape[0])
+
+    def lookup(self, subject_codes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """All exact k-mer matches against a subject sequence.
+
+        Returns ``(q_pos, s_pos)`` int64 arrays of equal length: the
+        subject's k-mers are the join needles against this (sorted) index.
+        """
+        if self.num_words == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        s_packed, s_valid = kmer_codes(subject_codes, self.k)
+        s_positions = np.flatnonzero(s_valid).astype(np.int64)
+        s_pos, q_pos = join_sorted(
+            s_packed[s_positions], s_positions, self._sorted_keys, self._sorted_positions
+        )
+        return q_pos, s_pos
+
+    def lookup_indexed(
+        self, subject_keys_sorted: np.ndarray, subject_pos_sorted: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Matches against a pre-indexed subject (see :func:`sorted_kmers`).
+
+        Flips the join direction: this index's (few) k-mers probe the
+        subject's sorted keys — the fast path for Orion's many small
+        fragments against shared database sequences, where re-probing the
+        subject from scratch per (fragment, shard) pair would dominate the
+        whole search.
+        """
+        if self.num_words == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        q_pos, s_pos = join_sorted(
+            self._sorted_keys, self._sorted_positions,
+            subject_keys_sorted, subject_pos_sorted,
+        )
+        return q_pos, s_pos
+
+    def estimated_hits_per_subject_base(self) -> float:
+        """Expected seed hits per subject position (workload modelling aid)."""
+        return self.num_words / float(4**self.k)

@@ -1,0 +1,235 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``make-db``
+    Generate a synthetic reference database as FASTA.
+``make-query``
+    Generate a query with planted homologies over an existing database.
+``search``
+    Search a FASTA query against a FASTA database with serial BLAST,
+    Orion, or the mpiBLAST baseline; tabular or pairwise output.
+``overlap``
+    Print the Eq.-1 fragment overlap for a query/database size pairing.
+``experiment``
+    Regenerate one of the paper's tables/figures (fig3, fig8, table3,
+    fig9, fig10, fig11, largedb, accuracy).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.blast.engine import BlastEngine
+from repro.blast.formatter import format_tabular
+from repro.blast.pairwise import format_report
+from repro.blast.params import BlastParams
+from repro.core.orion import OrionSearch
+from repro.core.overlap import overlap_length
+from repro.mpiblast.runner import MpiBlastRunner
+from repro.sequence.fasta import read_fasta, write_fasta
+from repro.sequence.generator import (
+    HomologySpec,
+    make_database,
+    make_query_with_homologies,
+)
+from repro.sequence.records import Database
+
+
+def _cmd_make_db(args: argparse.Namespace) -> int:
+    db = make_database(
+        args.seed,
+        num_sequences=args.sequences,
+        mean_length=args.mean_length,
+        name=args.name,
+    )
+    write_fasta(db.records, args.out)
+    print(f"wrote {db.num_sequences} sequences, {db.total_length:,} bp -> {args.out}")
+    return 0
+
+
+def _cmd_make_query(args: argparse.Namespace) -> int:
+    db = Database(read_fasta(args.db), name="db")
+    specs = [HomologySpec(length=args.homology_length)] * args.homologies
+    query, truth = make_query_with_homologies(
+        args.seed, args.length, db, specs, seq_id=args.name
+    )
+    write_fasta([query], args.out)
+    print(f"wrote query {query.seq_id} ({len(query):,} bp) -> {args.out}")
+    for t in truth:
+        print(
+            f"  planted {t.query_interval[0]}-{t.query_interval[1]} ~ "
+            f"{t.subject_id}:{t.subject_interval[0]}-{t.subject_interval[1]}"
+        )
+    return 0
+
+
+def _params_from(args: argparse.Namespace) -> BlastParams:
+    overrides = {}
+    if args.evalue is not None:
+        overrides["evalue_threshold"] = args.evalue
+    if args.two_hit:
+        overrides["two_hit_window"] = 40
+    if args.dust:
+        overrides["dust"] = True
+    base = BlastParams.megablast() if args.task == "megablast" else BlastParams()
+    return base.with_overrides(**overrides) if overrides else base
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    db = Database(read_fasta(args.db), name="db")
+    queries = read_fasta(args.query)
+    if not queries:
+        print("error: query file contains no sequences", file=sys.stderr)
+        return 2
+    params = _params_from(args)
+
+    all_alignments = []
+    for query in queries:
+        if args.mode == "serial":
+            res = BlastEngine(params).search(query, db, strands=args.strands)
+            alignments = res.alignments
+        elif args.mode == "orion":
+            orion = OrionSearch(
+                database=db,
+                params=params,
+                num_shards=args.shards,
+                fragment_length=args.fragment_length,
+                strands=args.strands,
+            )
+            alignments = orion.run(query).alignments
+        else:  # mpiblast
+            from repro.cluster.topology import ClusterSpec
+
+            runner = MpiBlastRunner(params=params)
+            out = runner.run([query], db, args.shards, ClusterSpec(nodes=4))
+            alignments = out.alignments[query.seq_id]
+        if args.max_alignments:
+            alignments = alignments[: args.max_alignments]
+        all_alignments.append((query, alignments))
+
+    for query, alignments in all_alignments:
+        if args.outfmt == "tabular":
+            print(format_tabular(alignments))
+        else:
+            from repro.sequence.alphabet import reverse_complement
+
+            def q_frame(aln):
+                return (
+                    query.codes if aln.strand == 1 else reverse_complement(query.codes)
+                )
+
+            for aln in alignments:
+                if aln.path is None:
+                    continue
+                from repro.blast.pairwise import format_pairwise
+
+                print(format_pairwise(aln, q_frame(aln), db[aln.subject_id].codes))
+    return 0
+
+
+def _cmd_overlap(args: argparse.Namespace) -> int:
+    params = BlastParams()
+    engine = BlastEngine(params)
+    space = engine.search_space(args.query_length, args.db_length, args.db_sequences)
+    L = overlap_length(engine.ka, params, space)
+    from repro.core.overlap import shortest_significant_alignment
+
+    s_lb = shortest_significant_alignment(engine.ka, params, space)
+    print(f"lambda={engine.ka.lam:.4f} K={engine.ka.K:.4f}")
+    print(f"effective m={space.m_eff:,} n={space.n_eff:,}")
+    print(f"S_lb={s_lb}  overlap L={L} bp")
+    return 0
+
+
+EXPERIMENTS = ("fig3", "fig8", "table3", "fig9", "fig10", "fig11", "largedb", "accuracy")
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.bench import experiments as exp
+
+    name = args.name
+    if name == "table3":
+        result = exp.run_fig8()
+        print(result.report_table3.render())
+        return 0
+    runner = {
+        "fig3": exp.run_fig3,
+        "fig8": exp.run_fig8,
+        "fig9": exp.run_fig9,
+        "fig10": exp.run_fig10,
+        "fig11": exp.run_fig11,
+        "largedb": exp.run_largedb,
+        "accuracy": exp.run_accuracy,
+    }[name]
+    result = runner()
+    print(result.report.render())
+    if name == "fig8":
+        print()
+        print(result.report_table3.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Orion (SC 2014) reproduction: fine-grained parallel BLAST.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("make-db", help="generate a synthetic reference database")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--sequences", type=int, default=50)
+    p.add_argument("--mean-length", type=int, default=10_000)
+    p.add_argument("--name", default="synthdb")
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_make_db)
+
+    p = sub.add_parser("make-query", help="generate a query with planted homologies")
+    p.add_argument("--db", required=True)
+    p.add_argument("--seed", type=int, default=2)
+    p.add_argument("--length", type=int, default=100_000)
+    p.add_argument("--homologies", type=int, default=3)
+    p.add_argument("--homology-length", type=int, default=800)
+    p.add_argument("--name", default="query")
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_make_query)
+
+    p = sub.add_parser("search", help="search a query against a database")
+    p.add_argument("--db", required=True)
+    p.add_argument("--query", required=True)
+    p.add_argument("--mode", choices=("serial", "orion", "mpiblast"), default="orion")
+    p.add_argument("--shards", type=int, default=8)
+    p.add_argument("--fragment-length", type=int, default=None)
+    p.add_argument("--strands", choices=("plus", "both"), default="plus")
+    p.add_argument("--outfmt", choices=("tabular", "pairwise"), default="tabular")
+    p.add_argument("--evalue", type=float, default=None)
+    p.add_argument("--task", choices=("blastn", "megablast"), default="blastn")
+    p.add_argument("--two-hit", action="store_true", help="two-hit seeding (window 40)")
+    p.add_argument("--dust", action="store_true", help="mask low-complexity query regions")
+    p.add_argument("--max-alignments", type=int, default=None)
+    p.set_defaults(func=_cmd_search)
+
+    p = sub.add_parser("overlap", help="print the Eq.-1 fragment overlap")
+    p.add_argument("--query-length", type=int, required=True)
+    p.add_argument("--db-length", type=int, required=True)
+    p.add_argument("--db-sequences", type=int, default=1)
+    p.set_defaults(func=_cmd_overlap)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument("name", choices=EXPERIMENTS)
+    p.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

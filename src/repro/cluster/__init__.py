@@ -1,0 +1,56 @@
+"""Cluster simulation substrate (the stand-in for the Gordon system).
+
+The paper measures on 64 nodes × 16 cores of the Gordon supercomputer. We
+replay *measured* per-task durations (from :mod:`repro.mapreduce` executors)
+through a deterministic discrete-event scheduler over a modelled cluster —
+makespan, speedup and load-balance numbers then come out the same way the
+paper computes them, at any core count (DESIGN.md §2).
+
+:mod:`repro.cluster.hardware` carries the two hardware effects the paper's
+results depend on but a scaled-down Python run cannot produce natively: the
+cache-miss slowdown of BLAST on long queries (their Fig. 3 motivation) and
+the quadratic dynamic-programming memory that makes mpiBLAST fail past
+96 Mbp queries.
+"""
+
+from repro.cluster.topology import ClusterSpec, ExecutionProfile
+from repro.cluster.tasks import SimTask, records_to_tasks
+from repro.cluster.policies import order_tasks
+from repro.cluster.simulator import (
+    NodeFailure,
+    Schedule,
+    ScheduledTask,
+    simulate_phase,
+    simulate_phases,
+)
+from repro.cluster.hardware import (
+    CacheModel,
+    DPMemoryModel,
+    OutOfMemoryError,
+)
+from repro.cluster.metrics import (
+    coefficient_of_variation,
+    load_imbalance,
+    parallel_efficiency,
+    speedup_curve,
+)
+
+__all__ = [
+    "ClusterSpec",
+    "ExecutionProfile",
+    "SimTask",
+    "records_to_tasks",
+    "order_tasks",
+    "NodeFailure",
+    "Schedule",
+    "ScheduledTask",
+    "simulate_phase",
+    "simulate_phases",
+    "CacheModel",
+    "DPMemoryModel",
+    "OutOfMemoryError",
+    "coefficient_of_variation",
+    "load_imbalance",
+    "parallel_efficiency",
+    "speedup_curve",
+]

@@ -1,0 +1,66 @@
+"""Parallel-performance metrics: CV, speedup, efficiency, imbalance.
+
+Note on the paper's Table III: its text defines CV as "Mean/Standard
+Deviation", but the reported numbers (182.18 / 315.78 = 0.58) are
+std/mean — the standard definition. We implement the standard definition and
+therefore reproduce the reported *numbers*, not the typo.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def coefficient_of_variation(durations: Sequence[float]) -> float:
+    """CV = population standard deviation / mean of task durations."""
+    arr = np.asarray(durations, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot compute CV of an empty sample")
+    if np.any(arr < 0):
+        raise ValueError("durations must be non-negative")
+    mean = float(arr.mean())
+    if mean == 0.0:
+        return 0.0
+    return float(arr.std() / mean)
+
+
+def load_imbalance(busy: Sequence[float]) -> float:
+    """max/mean of per-worker busy time; 1.0 is perfect balance."""
+    arr = np.asarray(busy, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot compute imbalance of an empty sample")
+    mean = float(arr.mean())
+    if mean == 0.0:
+        return 1.0
+    return float(arr.max() / mean)
+
+
+def parallel_efficiency(speedup: float, worker_ratio: float) -> float:
+    """Speedup divided by the resource ratio achieving it."""
+    if worker_ratio <= 0:
+        raise ValueError(f"worker_ratio must be positive, got {worker_ratio}")
+    return speedup / worker_ratio
+
+
+def speedup_curve(
+    core_counts: Sequence[int], makespans: Sequence[float]
+) -> List[Tuple[int, float, float]]:
+    """Speedup/efficiency relative to the first configuration (the baseline).
+
+    Mirrors the paper's Fig. 9 presentation: 64 cores is the baseline, and
+    speedup at N cores is ``T(64) / T(N)``. Returns
+    ``(cores, speedup, efficiency_vs_baseline)`` rows.
+    """
+    if len(core_counts) != len(makespans) or not core_counts:
+        raise ValueError("core_counts and makespans must be equal-length, non-empty")
+    if any(m <= 0 for m in makespans):
+        raise ValueError("makespans must be positive")
+    base_cores = core_counts[0]
+    base_time = makespans[0]
+    rows: List[Tuple[int, float, float]] = []
+    for cores, t in zip(core_counts, makespans):
+        s = base_time / t
+        rows.append((cores, s, parallel_efficiency(s, cores / base_cores)))
+    return rows

@@ -1,0 +1,54 @@
+"""Simulation task types and conversion from measured MapReduce records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional
+
+from repro.mapreduce.types import TaskKind, TaskRecord
+
+
+@dataclass(frozen=True)
+class SimTask:
+    """One schedulable unit of simulated work.
+
+    ``duration`` is simulated seconds — usually a measured duration, possibly
+    rescaled by a hardware model before simulation.
+    """
+
+    task_id: str
+    duration: float
+    kind: TaskKind = TaskKind.MAP
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"duration must be non-negative, got {self.duration}")
+        if not self.task_id:
+            raise ValueError("task_id must be non-empty")
+
+
+def records_to_tasks(
+    records: Iterable[TaskRecord],
+    kind: Optional[TaskKind] = None,
+    scale: Optional[Callable[[TaskRecord], float]] = None,
+) -> List[SimTask]:
+    """Turn measured task records into simulation tasks.
+
+    Parameters
+    ----------
+    kind:
+        Keep only records of this kind (``None`` keeps all).
+    scale:
+        Optional per-record duration multiplier — the hook through which
+        hardware models (cache penalties) enter simulated time. The factor is
+        computed from the record so callers can key it on task identity.
+    """
+    tasks: List[SimTask] = []
+    for rec in records:
+        if kind is not None and rec.kind is not kind:
+            continue
+        factor = 1.0 if scale is None else float(scale(rec))
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor} for {rec.task_id}")
+        tasks.append(SimTask(task_id=rec.task_id, duration=rec.duration * factor, kind=rec.kind))
+    return tasks

@@ -1,0 +1,45 @@
+"""Orion: the paper's contribution (Section III/IV).
+
+Fine-grained parallel BLAST exploiting all three levels of Fig. 1 —
+inter-query, intra-database *and intra-query* parallelism:
+
+* :mod:`repro.core.overlap` — the analytical overlap model (paper Eq. 1);
+* :mod:`repro.core.fragmenter` — equal-sized overlapping query fragments;
+* :mod:`repro.core.boundary` — boundary-aware search options per fragment
+  (partial flagging + speculative gapped extension, Section III-B1);
+* :mod:`repro.core.merge` — splicing partial alignments across fragment
+  boundaries;
+* :mod:`repro.core.aggregator` — the reduce phase: dedupe, merge, rescore,
+  E-filter (Section III-B / IV-C);
+* :mod:`repro.core.sortmr` — parallel sample-sort of results (Section IV-D);
+* :mod:`repro.core.calibrate` — per-database fragment-length calibration
+  (Section III-D / Fig. 11);
+* :mod:`repro.core.orion` — :class:`OrionSearch`, the top-level API.
+"""
+
+from repro.core.overlap import overlap_length, shortest_significant_alignment
+from repro.core.fragmenter import QueryFragment, fragment_query, suggest_fragment_length
+from repro.core.boundary import options_for_fragment
+from repro.core.results import FragmentAlignment, OrionResult
+from repro.core.merge import try_merge_pair
+from repro.core.aggregator import aggregate_subject_alignments
+from repro.core.sortmr import parallel_sort_alignments
+from repro.core.calibrate import CalibrationResult, calibrate_fragment_length
+from repro.core.orion import OrionSearch
+
+__all__ = [
+    "overlap_length",
+    "shortest_significant_alignment",
+    "QueryFragment",
+    "fragment_query",
+    "suggest_fragment_length",
+    "options_for_fragment",
+    "FragmentAlignment",
+    "OrionResult",
+    "try_merge_pair",
+    "aggregate_subject_alignments",
+    "parallel_sort_alignments",
+    "CalibrationResult",
+    "calibrate_fragment_length",
+    "OrionSearch",
+]

@@ -1,0 +1,125 @@
+"""Fragment-length calibration (paper Section III-D and Fig. 11).
+
+The ideal fragment length balances opposing pressures: longer fragments mean
+fewer boundary crossings and less aggregation work, shorter fragments mean
+more work units (parallelism) and better cache behaviour. The paper
+calibrates *once per database* and reuses the sweet spot. This module sweeps
+candidate lengths, simulates each on the target cluster, and memoizes the
+winner per (database, query-length-bucket).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.topology import ClusterSpec
+from repro.sequence.records import SequenceRecord
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One fragment length's outcome in a calibration sweep."""
+
+    fragment_length: int
+    num_fragments: int
+    num_work_units: int
+    makespan_seconds: float
+    total_work_seconds: float
+    merged_pairs: int
+
+
+@dataclass
+class CalibrationResult:
+    """Sweep outcome: every point plus the sweet spot."""
+
+    database_name: str
+    query_length: int
+    cluster_slots: int
+    points: List[SweepPoint]
+
+    @property
+    def best(self) -> SweepPoint:
+        return min(self.points, key=lambda p: (p.makespan_seconds, p.fragment_length))
+
+    @property
+    def best_fragment_length(self) -> int:
+        return self.best.fragment_length
+
+
+#: Per-database memoized sweet spots, keyed by (db name, query-length bucket).
+_CALIBRATION_CACHE: Dict[Tuple[str, int], int] = {}
+
+
+def _length_bucket(query_length: int) -> int:
+    """Queries within a 2× band share a calibration (per-database reuse)."""
+    bucket = 1
+    while bucket * 2 <= query_length:
+        bucket *= 2
+    return bucket
+
+
+def default_sweep_lengths(query_length: int, overlap: int, count: int = 8) -> List[int]:
+    """Geometric sweep from ~4·overlap up to the whole query."""
+    lo = max(4 * overlap, 1000)
+    hi = max(query_length, lo + 1)
+    if count < 2:
+        raise ValueError(f"count must be >= 2, got {count}")
+    ratio = (hi / lo) ** (1.0 / (count - 1))
+    lengths = sorted({int(round(lo * ratio**i)) for i in range(count)})
+    return [l for l in lengths if l > overlap]
+
+
+def calibrate_fragment_length(
+    orion,  # OrionSearch; untyped to avoid an import cycle
+    query: SequenceRecord,
+    cluster: ClusterSpec,
+    fragment_lengths: Optional[Sequence[int]] = None,
+    use_cache: bool = True,
+) -> CalibrationResult:
+    """Sweep fragment lengths for a query/cluster; memoize the sweet spot.
+
+    Each candidate runs a full Orion search (real work, measured durations)
+    and is simulated on ``cluster``; the sweep curve is the paper's Fig. 11.
+    Results are cached per (database, query-length bucket) so later searches
+    can fetch the tuned length via :func:`cached_fragment_length`.
+    """
+    overlap, _ = orion.overlap_for_query(query)
+    if fragment_lengths is None:
+        fragment_lengths = default_sweep_lengths(len(query), overlap)
+    if not fragment_lengths:
+        raise ValueError("no candidate fragment lengths to sweep")
+    points: List[SweepPoint] = []
+    for frag_len in fragment_lengths:
+        result = orion.run(query, cluster=cluster, fragment_length=frag_len)
+        assert result.schedule is not None
+        points.append(
+            SweepPoint(
+                fragment_length=frag_len,
+                num_fragments=result.num_fragments,
+                num_work_units=result.num_work_units,
+                makespan_seconds=result.schedule.makespan,
+                total_work_seconds=result.total_measured_seconds(),
+                merged_pairs=result.merged_pairs,
+            )
+        )
+    calib = CalibrationResult(
+        database_name=orion.database.name,
+        query_length=len(query),
+        cluster_slots=cluster.total_slots,
+        points=points,
+    )
+    if use_cache:
+        key = (orion.database.name, _length_bucket(len(query)))
+        _CALIBRATION_CACHE[key] = calib.best_fragment_length
+    return calib
+
+
+def cached_fragment_length(database_name: str, query_length: int) -> Optional[int]:
+    """The memoized sweet spot for this database/query-length bucket, if any."""
+    return _CALIBRATION_CACHE.get((database_name, _length_bucket(query_length)))
+
+
+def clear_calibration_cache() -> None:
+    """Reset memoized calibrations (used by tests)."""
+    _CALIBRATION_CACHE.clear()

@@ -1,0 +1,415 @@
+"""Splicing partial alignments across fragment boundaries.
+
+Two partials merge when they describe the same underlying alignment: they
+must share at least one *aligned pair* — a (query, subject) position aligned
+diagonally by both paths inside the overlapped region. The merged path takes
+the left partial up to that anchor pair and the right partial from it; no
+scores are guessed, the merge is purely structural and the aggregator
+rescores the result against the original sequences.
+
+Speculative extensions deliberately overshoot (absolute-drop rule), so after
+merging the path is trimmed back to its score peaks —
+:func:`trim_path_to_peaks` reproduces the endpoint rule of a normal
+(peak-relative) x-drop extension, which is the "excess cleaned up during
+alignment aggregation" of Section III-B1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.blast.hsp import OP_DIAG, OP_QGAP, OP_SGAP, Alignment
+
+
+def path_positions(path: np.ndarray, q_start: int, s_start: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-column (query, subject) positions *before* consuming each column."""
+    path = np.asarray(path, dtype=np.uint8)
+    q_steps = (path != OP_QGAP).astype(np.int64)
+    s_steps = (path != OP_SGAP).astype(np.int64)
+    q_pos = q_start + np.cumsum(q_steps) - q_steps
+    s_pos = s_start + np.cumsum(s_steps) - s_steps
+    return q_pos, s_pos
+
+
+def column_scores(
+    path: np.ndarray,
+    q_codes: np.ndarray,
+    s_codes: np.ndarray,
+    q_start: int,
+    s_start: int,
+    reward: int,
+    penalty: int,
+    gap_open: int,
+    gap_extend: int,
+) -> np.ndarray:
+    """Per-column score contributions (gap opens charged at run heads)."""
+    path = np.asarray(path, dtype=np.uint8)
+    if path.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    q_pos, s_pos = path_positions(path, q_start, s_start)
+    scores = np.empty(path.size, dtype=np.int64)
+    diag = path == OP_DIAG
+    if diag.any():
+        eq = q_codes[q_pos[diag]] == s_codes[s_pos[diag]]
+        scores[diag] = np.where(eq, np.int64(reward), np.int64(penalty))
+    is_gap = ~diag
+    if is_gap.any():
+        scores[is_gap] = -gap_extend
+        run_head = np.empty(path.size, dtype=bool)
+        run_head[0] = is_gap[0]
+        run_head[1:] = is_gap[1:] & ((~is_gap[:-1]) | (path[1:] != path[:-1]))
+        scores[run_head] -= gap_open
+    return scores
+
+
+def try_merge_pair(
+    a: Alignment,
+    b: Alignment,
+    q_codes: Optional[np.ndarray] = None,
+    s_codes: Optional[np.ndarray] = None,
+    reward: int = 1,
+    penalty: int = -3,
+    gap_open: int = 5,
+    gap_extend: int = 2,
+    max_bridge: int = 256,
+) -> Optional[Alignment]:
+    """Merge two alignments into one; ``None`` if impossible.
+
+    Two mechanisms, tried in order (paper: "overlapping **or adjacent**
+    alignments … are aggregated"):
+
+    1. **splice** — the paths share an aligned (q, s) pair inside their
+       overlap; the merged path switches from a's path to b's at that pair;
+    2. **bridge** — the alignments are adjacent (or overlap without a common
+       pair, e.g. both extensions stopped in a divergent patch near the
+       boundary): a's path is cut back to before b's start and the remaining
+       ≤ ``max_bridge``-base region is joined by a small global alignment.
+       Requires ``q_codes``/``s_codes``.
+
+    The returned alignment carries the merged path and endpoint coordinates
+    but *placeholder statistics* (score 0) — callers must rescore it.
+    """
+    if a.subject_id != b.subject_id or a.strand != b.strand:
+        return None
+    if a.path is None or b.path is None:
+        return None
+    if a.q_start > b.q_start or (a.q_start == b.q_start and a.s_start > b.s_start):
+        a, b = b, a
+    if b.q_end <= a.q_end and b.s_end <= a.s_end:
+        return None  # b adds nothing (containment is handled by culling)
+    if b.q_start >= a.q_end or b.s_start >= a.s_end:
+        # No overlap: nothing shared to anchor a splice — try bridging.
+        return _try_bridge(
+            a, b, q_codes, s_codes, reward, penalty, gap_open, gap_extend, max_bridge
+        )
+
+    qa, sa = path_positions(a.path, a.q_start, a.s_start)
+    qb, sb = path_positions(b.path, b.q_start, b.s_start)
+    da = np.flatnonzero(a.path == OP_DIAG)
+    db = np.flatnonzero(b.path == OP_DIAG)
+    if da.size == 0 or db.size == 0:
+        return None
+    # Diagonal columns have strictly increasing q, so intersect on q then
+    # verify the subject positions agree.
+    common_q, ia, ib = np.intersect1d(qa[da], qb[db], return_indices=True)
+    col_a = col_b = None
+    if common_q.size:
+        agree = sa[da[ia]] == sb[db[ib]]
+        if agree.any():
+            pick = int(np.argmax(agree))  # first common aligned pair
+            col_a = int(da[ia[pick]])
+            col_b = int(db[ib[pick]])
+    if col_a is None:
+        # Overlapping intervals but no shared pair (paths disagree in the
+        # overlap): fall back to cut-and-bridge.
+        return _try_bridge(
+            a, b, q_codes, s_codes, reward, penalty, gap_open, gap_extend, max_bridge
+        )
+
+    merged_path = np.concatenate([a.path[:col_a], b.path[col_b:]])
+    return _merged(a, b, merged_path)
+
+
+def _merged(a: Alignment, b: Alignment, path: np.ndarray) -> Alignment:
+    return Alignment(
+        query_id=a.query_id,
+        subject_id=a.subject_id,
+        q_start=a.q_start,
+        q_end=b.q_end,
+        s_start=a.s_start,
+        s_end=b.s_end,
+        score=0,
+        evalue=float("inf"),
+        bits=0.0,
+        strand=a.strand,
+        path=path,
+    )
+
+
+def _global_align(
+    q_seg: np.ndarray,
+    s_seg: np.ndarray,
+    reward: int,
+    penalty: int,
+    gap_open: int,
+    gap_extend: int,
+) -> np.ndarray:
+    """Tiny affine Needleman–Wunsch producing an op path (bridge segments).
+
+    Both segments are at most ``max_bridge`` bases, so the O(m·n) DP with
+    full traceback matrices is negligible next to the search itself.
+    """
+    m, n = int(q_seg.shape[0]), int(s_seg.shape[0])
+    if m == 0 and n == 0:
+        return np.zeros(0, dtype=np.uint8)
+    if m == 0:
+        return np.full(n, OP_QGAP, dtype=np.uint8)
+    if n == 0:
+        return np.full(m, OP_SGAP, dtype=np.uint8)
+    neg = -(2**30)
+    H = np.full((m + 1, n + 1), neg, dtype=np.int64)
+    E = np.full((m + 1, n + 1), neg, dtype=np.int64)  # gap in query (left)
+    F = np.full((m + 1, n + 1), neg, dtype=np.int64)  # gap in subject (up)
+    H[0, 0] = 0
+    for j in range(1, n + 1):
+        E[0, j] = -(gap_open + gap_extend * j)
+        H[0, j] = E[0, j]
+    for i in range(1, m + 1):
+        F[i, 0] = -(gap_open + gap_extend * i)
+        H[i, 0] = F[i, 0]
+        for j in range(1, n + 1):
+            sub = reward if (q_seg[i - 1] == s_seg[j - 1] and q_seg[i - 1] < 4) else penalty
+            E[i, j] = max(E[i, j - 1] - gap_extend, H[i, j - 1] - gap_open - gap_extend)
+            F[i, j] = max(F[i - 1, j] - gap_extend, H[i - 1, j] - gap_open - gap_extend)
+            H[i, j] = max(H[i - 1, j - 1] + sub, E[i, j], F[i, j])
+    # Traceback as a three-state machine (which matrix the current cell's
+    # value lives in); gap runs stay in E/F until their opening transition.
+    ops = []
+    i, j = m, n
+    state = "H"
+    while i > 0 or j > 0:
+        if state == "H":
+            if i > 0 and j > 0:
+                sub = (
+                    reward
+                    if (q_seg[i - 1] == s_seg[j - 1] and q_seg[i - 1] < 4)
+                    else penalty
+                )
+                if H[i, j] == H[i - 1, j - 1] + sub:
+                    ops.append(OP_DIAG)
+                    i -= 1
+                    j -= 1
+                    continue
+            if j > 0 and H[i, j] == E[i, j]:
+                state = "E"
+                continue
+            if i > 0 and H[i, j] == F[i, j]:
+                state = "F"
+                continue
+            raise RuntimeError("bridge traceback stuck in H")  # pragma: no cover
+        if state == "E":
+            ops.append(OP_QGAP)
+            if E[i, j] == H[i, j - 1] - gap_open - gap_extend:
+                state = "H"
+            j -= 1
+            continue
+        # state == "F"
+        ops.append(OP_SGAP)
+        if F[i, j] == H[i - 1, j] - gap_open - gap_extend:
+            state = "H"
+        i -= 1
+    return np.array(ops[::-1], dtype=np.uint8)
+
+
+def _cut_before(a: Alignment, q_limit: int, s_limit: int) -> Optional[int]:
+    """Longest prefix of a's path consuming q < q_limit and s < s_limit.
+
+    Returns the cut column index (path[:cut] is kept), or ``None`` when even
+    the empty prefix violates the limits (cannot happen for ordered inputs).
+    """
+    assert a.path is not None
+    q_pos, s_pos = path_positions(a.path, a.q_start, a.s_start)
+    # After consuming prefix of length c, the next positions are q_pos[c],
+    # s_pos[c] (or the ends for c == len). Find the largest c with
+    # end-of-prefix coordinates <= limits.
+    q_steps = (a.path != OP_QGAP).astype(np.int64)
+    s_steps = (a.path != OP_SGAP).astype(np.int64)
+    q_end = a.q_start + np.concatenate(([0], np.cumsum(q_steps)))
+    s_end = a.s_start + np.concatenate(([0], np.cumsum(s_steps)))
+    ok = (q_end <= q_limit) & (s_end <= s_limit)
+    if not ok.any():
+        return None
+    return int(np.flatnonzero(ok)[-1])
+
+
+def _try_bridge(
+    a: Alignment,
+    b: Alignment,
+    q_codes: Optional[np.ndarray],
+    s_codes: Optional[np.ndarray],
+    reward: int,
+    penalty: int,
+    gap_open: int,
+    gap_extend: int,
+    max_bridge: int,
+) -> Optional[Alignment]:
+    """Cut a back before b's start and join the remaining region globally."""
+    if q_codes is None or s_codes is None:
+        return None
+    assert a.path is not None and b.path is not None
+    cut = _cut_before(a, b.q_start, b.s_start)
+    if cut is None or cut == 0:
+        return None
+    kept = a.path[:cut]
+    q_consumed = int(np.count_nonzero(kept != OP_QGAP))
+    s_consumed = int(np.count_nonzero(kept != OP_SGAP))
+    q_gap_lo = a.q_start + q_consumed
+    s_gap_lo = a.s_start + s_consumed
+    gap_q = b.q_start - q_gap_lo
+    gap_s = b.s_start - s_gap_lo
+    if gap_q < 0 or gap_s < 0 or gap_q > max_bridge or gap_s > max_bridge:
+        return None
+    bridge = _global_align(
+        q_codes[q_gap_lo : q_gap_lo + gap_q],
+        s_codes[s_gap_lo : s_gap_lo + gap_s],
+        reward, penalty, gap_open, gap_extend,
+    )
+    merged_path = np.concatenate([kept, bridge, b.path])
+    return _merged(a, b, merged_path)
+
+
+def split_alignment_at_drops(
+    aln: Alignment,
+    q_codes: np.ndarray,
+    s_codes: np.ndarray,
+    reward: int,
+    penalty: int,
+    gap_open: int,
+    gap_extend: int,
+    x_drop: int,
+) -> List[Alignment]:
+    """Split an alignment wherever an internal dip exceeds ``x_drop``.
+
+    Serial BLAST's gapped extension terminates once the score falls
+    ``x_drop`` below its running peak, so a reported alignment never spans a
+    deeper dip — two high-scoring regions separated by one are reported as
+    *two* alignments. Merged (and speculative, absolute-drop) paths can
+    contain such dips; this function restores the serial segmentation:
+    scanning left to right, when the cumulative score drops more than
+    ``x_drop`` below the running maximum the segment is closed at that peak
+    and the scan restarts after it. Callers should trim each returned piece
+    with :func:`trim_path_to_peaks` (which removes any leading dip the split
+    leaves behind) and rescore.
+    """
+    if aln.path is None or aln.path.size == 0:
+        return [aln]
+    scores = column_scores(
+        aln.path, q_codes, s_codes, aln.q_start, aln.s_start,
+        reward, penalty, gap_open, gap_extend,
+    )
+    boundaries: List[Tuple[int, int]] = []  # [start_col, end_col) segments
+    start = 0
+    n = scores.shape[0]
+    while start < n:
+        cum = np.cumsum(scores[start:])
+        runmax = np.maximum.accumulate(cum)
+        dropped = (runmax - cum) > x_drop
+        if not dropped.any():
+            if int(cum.max()) > 0:
+                boundaries.append((start, n))
+            break
+        t = int(np.argmax(dropped))
+        peak = int(np.argmax(cum[: t + 1]))  # first index attaining the max
+        if int(cum[peak]) > 0:
+            boundaries.append((start, start + peak + 1))
+            start = start + peak + 1
+        else:
+            # Pure dip (no positive prefix): these columns belong to no
+            # alignment — skip past the scanned region entirely.
+            start = start + t + 1
+    if len(boundaries) == 1 and boundaries[0] == (0, n):
+        return [aln]
+    if not boundaries:
+        # Nothing positive anywhere: hand back one piece; the caller's
+        # peak-trim will collapse it to empty and drop it.
+        return [aln]
+
+    pieces: List[Alignment] = []
+    q_steps = (aln.path != OP_QGAP).astype(np.int64)
+    s_steps = (aln.path != OP_SGAP).astype(np.int64)
+    q_off = np.concatenate(([0], np.cumsum(q_steps)))
+    s_off = np.concatenate(([0], np.cumsum(s_steps)))
+    for lo, hi in boundaries:
+        piece_path = aln.path[lo:hi]
+        if piece_path.size == 0:
+            continue
+        pieces.append(
+            replace(
+                aln,
+                q_start=aln.q_start + int(q_off[lo]),
+                q_end=aln.q_start + int(q_off[hi]),
+                s_start=aln.s_start + int(s_off[lo]),
+                s_end=aln.s_start + int(s_off[hi]),
+                path=piece_path,
+                score=0,
+            )
+        )
+    return pieces
+
+
+def trim_path_to_peaks(
+    aln: Alignment,
+    q_codes: np.ndarray,
+    s_codes: np.ndarray,
+    reward: int,
+    penalty: int,
+    gap_open: int,
+    gap_extend: int,
+) -> Alignment:
+    """Trim an alignment's ends back to its score peaks.
+
+    Reproduces the endpoint rule of peak-relative x-drop extension: the right
+    end is the first column where the running score attains its maximum; the
+    left end symmetrically maximizes the suffix sum (shortest alignment on
+    ties). Identity for alignments whose ends are already peaks; required for
+    merged/speculative paths, which may carry overshoot tails.
+    """
+    if aln.path is None or aln.path.size == 0:
+        return aln
+    scores = column_scores(
+        aln.path, q_codes, s_codes, aln.q_start, aln.s_start,
+        reward, penalty, gap_open, gap_extend,
+    )
+    prefix = np.cumsum(scores)
+    end_col = int(np.argmax(prefix))  # first index attaining the max
+    if prefix[end_col] <= 0:
+        # Nothing positive survives: degenerate empty alignment.
+        return replace(
+            aln,
+            q_end=aln.q_start,
+            s_end=aln.s_start,
+            path=aln.path[:0],
+            score=0,
+        )
+    kept = scores[: end_col + 1]
+    suffix = kept[::-1].cumsum()[::-1]  # suffix[i] = sum(kept[i:])
+    # Last index attaining the suffix max => shortest alignment.
+    start_col = int(len(suffix) - 1 - np.argmax(suffix[::-1]))
+
+    path = aln.path[start_col : end_col + 1]
+    pre = aln.path[:start_col]
+    q_shift = int(np.count_nonzero(pre != OP_QGAP))
+    s_shift = int(np.count_nonzero(pre != OP_SGAP))
+    q_span = int(np.count_nonzero(path != OP_QGAP))
+    s_span = int(np.count_nonzero(path != OP_SGAP))
+    return replace(
+        aln,
+        q_start=aln.q_start + q_shift,
+        q_end=aln.q_start + q_shift + q_span,
+        s_start=aln.s_start + s_shift,
+        s_end=aln.s_start + s_shift + s_span,
+        path=path,
+    )

@@ -1,0 +1,429 @@
+"""OrionSearch — the top-level fine-grained parallel search API.
+
+Implements the paper's architecture (Fig. 4) end to end on this package's
+substrates: the query is fragmented with the Eq.-1 overlap, the database is
+sharded with mpiBLAST's own sharder, (fragment × shard) map tasks run the
+boundary-aware BLAST engine, a keyed reduce aggregates partial alignments,
+and a final sample-sort job orders the report. Results are exactly serial
+BLAST's (the 100%-accuracy claim; integration-tested), while the work units
+are small and uniform — the source of Orion's parallelism and load balance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.blast.engine import BlastEngine
+from repro.blast.hsp import Alignment, MINUS_STRAND, PLUS_STRAND
+from repro.blast.params import BlastParams
+from repro.blast.statistics import SearchSpace
+from repro.cluster.hardware import CacheModel, ScanCostModel
+from repro.cluster.simulator import Schedule, simulate_phases
+from repro.cluster.tasks import SimTask
+from repro.cluster.topology import ClusterSpec, ExecutionProfile
+from repro.core.aggregator import AggregationStats, aggregate_subject_alignments
+from repro.core.boundary import options_for_fragment
+from repro.core.fragmenter import QueryFragment, fragment_query, suggest_fragment_length
+from repro.core.overlap import overlap_length
+from repro.core.results import FragmentAlignment, OrionResult
+from repro.core.sortmr import parallel_sort_alignments
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.runtime import SerialExecutor
+from repro.mapreduce.types import InputSplit, TaskKind
+from repro.mpiblast.formatdb import DatabaseShard, shard_database
+from repro.sequence.alphabet import reverse_complement
+from repro.sequence.records import Database, SequenceRecord
+from repro.units import WorkUnit, WorkUnitRecord
+from repro.util.validation import check_positive
+
+
+class OrionSearch:
+    """Fine-grained parallel BLAST over a fixed database.
+
+    Parameters
+    ----------
+    database:
+        The reference database (sharded once, reused across queries —
+        matching the paper's per-database calibration story).
+    params:
+        BLAST parameters (Table I defaults).
+    num_shards:
+        Database shards (intra-database parallelism).
+    fragment_length:
+        Fixed fragment length; ``None`` derives a heuristic per query (see
+        :func:`repro.core.fragmenter.suggest_fragment_length`) — run
+        :mod:`repro.core.calibrate` for the tuned value.
+    cache_model / unit_scale:
+        Hardware model for simulated durations; fragments below the cache
+        threshold get factor 1.0 — Orion's key advantage on long queries.
+    time_scale:
+        Constant measured→simulated seconds multiplier (see
+        :class:`repro.mpiblast.runner.MpiBlastRunner`); applied to map,
+        reduce and sort task durations alike.
+    profile:
+        Simulation overhead profile; defaults to Hadoop's.
+    speculative:
+        Enable speculative gapped extension at boundaries (paper III-B1).
+        Disabling it is an ablation that *loses* boundary alignments.
+    drop_left_overlap:
+        Map-side optimization: drop plus-strand alignments lying entirely
+        inside a fragment's left overlap (the neighbour reports them). Pure
+        dedup optimization — reduce-side dedup is the correctness backstop.
+    strands:
+        ``"plus"`` or ``"both"``.
+    num_reducers / sort_tasks:
+        Reduce-phase and sort-phase parallelism.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        params: Optional[BlastParams] = None,
+        num_shards: int = 16,
+        fragment_length: Optional[int] = None,
+        cache_model: Optional[CacheModel] = None,
+        unit_scale: float = 1.0,
+        time_scale: float = 1.0,
+        db_unit_scale: Optional[float] = None,
+        scan_model: Optional[ScanCostModel] = None,
+        profile: Optional[ExecutionProfile] = None,
+        speculative: bool = True,
+        drop_left_overlap: bool = True,
+        strands: str = "plus",
+        num_reducers: int = 8,
+        sort_tasks: int = 4,
+        aggregation_mode: str = "research",
+        use_streaming: bool = False,
+    ) -> None:
+        check_positive("num_shards", num_shards)
+        check_positive("unit_scale", unit_scale)
+        check_positive("time_scale", time_scale)
+        check_positive("num_reducers", num_reducers)
+        check_positive("sort_tasks", sort_tasks)
+        if strands not in ("plus", "both"):
+            raise ValueError(f"strands must be 'plus' or 'both', got {strands!r}")
+        if fragment_length is not None:
+            check_positive("fragment_length", fragment_length)
+        self.database = database
+        self.engine = BlastEngine(params)
+        self.params = self.engine.params
+        self.shards: List[DatabaseShard] = shard_database(database, num_shards)
+        self.fragment_length = fragment_length
+        self.cache_model = cache_model
+        self.unit_scale = float(unit_scale)
+        self.time_scale = float(time_scale)
+        self.db_unit_scale = (
+            float(db_unit_scale) if db_unit_scale is not None else self.unit_scale
+        )
+        self.scan_model = scan_model
+        self.profile = profile or ExecutionProfile.hadoop()
+        self.speculative = speculative
+        self.drop_left_overlap = drop_left_overlap
+        self.strands = strands
+        self.num_reducers = num_reducers
+        self.sort_tasks = sort_tasks
+        self.use_streaming = use_streaming
+        self._subject_kmers: Optional[Dict[str, Tuple[np.ndarray, np.ndarray]]] = None
+        if aggregation_mode not in ("research", "splice"):
+            raise ValueError(
+                f"aggregation_mode must be 'research' or 'splice', got {aggregation_mode!r}"
+            )
+        self.aggregation_mode = aggregation_mode
+
+    # ------------------------------------------------------------------ #
+
+    def overlap_for_query(self, query: SequenceRecord) -> Tuple[int, SearchSpace]:
+        """The Eq.-1 overlap and the effective search space for a query."""
+        space = self.engine.search_space(
+            len(query), self.database.total_length, self.database.num_sequences
+        )
+        return overlap_length(self.engine.ka, self.params, space), space
+
+    def _subject_kmer_cache(self) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+        """Per-database-sequence sorted k-mer indexes, built once and shared
+        by every (fragment, shard) map task — the flipped-join fast path."""
+        if self._subject_kmers is None:
+            from repro.blast.lookup import sorted_kmers
+
+            self._subject_kmers = {
+                rec.seq_id: sorted_kmers(rec.codes, self.params.k)
+                for rec in self.database
+            }
+        return self._subject_kmers
+
+    def _cache_factor(self, fragment_bases: int) -> float:
+        if self.cache_model is None:
+            return 1.0
+        return self.cache_model.factor(fragment_bases * self.unit_scale)
+
+    def _resolve_fragment_length(
+        self, query: SequenceRecord, overlap: int, override: Optional[int]
+    ) -> int:
+        if override is not None:
+            return override
+        if self.fragment_length is not None:
+            return self.fragment_length
+        # Per-database memoized calibration (paper Section III-D): reuse the
+        # sweet spot found by repro.core.calibrate for this length bucket.
+        from repro.core.calibrate import cached_fragment_length
+
+        cached = cached_fragment_length(self.database.name, len(query))
+        if cached is not None and cached > overlap:
+            return cached
+        return suggest_fragment_length(
+            query_length=len(query),
+            overlap=overlap,
+            num_shards=len(self.shards),
+            total_slots=64,
+        )
+
+    # ------------------------------------------------------------------ #
+    # map side
+    # ------------------------------------------------------------------ #
+
+    def _map_fragment_shard(
+        self,
+        query: SequenceRecord,
+        fragment: QueryFragment,
+        shard: DatabaseShard,
+        space: SearchSpace,
+    ) -> List[Tuple[Tuple[str, int], FragmentAlignment]]:
+        """Run one (fragment, shard) work unit; emit keyed fragment alignments."""
+        options = options_for_fragment(
+            fragment, speculative=self.speculative, strands=self.strands
+        )
+        res = self.engine.search(
+            fragment.record, shard.database,
+            options=options, stats_space=space, strands=self.strands,
+            subject_kmer_cache=self._subject_kmer_cache(),
+        )
+        qlen = len(query)
+        flen = fragment.length
+        margin = options.boundary_margin
+        out: List[Tuple[Tuple[str, int], FragmentAlignment]] = []
+        for aln in res.alignments:
+            if aln.strand == PLUS_STRAND:
+                offset = fragment.offset
+                left_interior = not fragment.is_first
+                right_interior = not fragment.is_last
+            else:
+                # rc(fragment) occupies [qlen - end, qlen - offset) of rc(query)
+                offset = qlen - fragment.end
+                left_interior = not fragment.is_last
+                right_interior = not fragment.is_first
+            partial_left = left_interior and aln.q_start < margin
+            partial_right = right_interior and aln.q_end > flen - margin
+            if (
+                self.drop_left_overlap
+                and aln.strand == PLUS_STRAND
+                and left_interior
+                and aln.q_end <= fragment.overlap
+            ):
+                # Entirely inside the left overlap: the previous fragment
+                # sees (and reports) the whole alignment (paper III-B1).
+                continue
+            shifted = replace(aln.shifted(q_offset=offset), query_id=query.seq_id)
+            out.append(
+                (
+                    (aln.subject_id, aln.strand),
+                    FragmentAlignment(
+                        alignment=shifted,
+                        fragment_index=fragment.index,
+                        partial_left=partial_left,
+                        partial_right=partial_right,
+                    ),
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        query: SequenceRecord,
+        cluster: Optional[ClusterSpec] = None,
+        fragment_length: Optional[int] = None,
+    ) -> OrionResult:
+        """Search one query; optionally simulate the schedule on a cluster."""
+        overlap, space = self.overlap_for_query(query)
+        frag_len = self._resolve_fragment_length(query, overlap, fragment_length)
+        if frag_len <= overlap:
+            frag_len = overlap + max(1, overlap)
+        fragments = fragment_query(query, frag_len, overlap)
+
+        q_codes_plus = query.codes
+        q_codes_minus = reverse_complement(query.codes) if self.strands == "both" else None
+
+        def mapper(split: InputSplit):
+            fragment, shard = split.payload
+            out = self._map_fragment_shard(query, fragment, shard, space)
+            if not self.use_streaming:
+                return out
+            # Hadoop-streaming fidelity: everything crossing the shuffle is
+            # tab-separated text (paper Section IV-B).
+            from repro.core.streaming import (
+                encode_fragment_alignment,
+                shuffle_key_to_text,
+            )
+
+            return [
+                (shuffle_key_to_text(key), encode_fragment_alignment(fa))
+                for key, fa in out
+            ]
+
+        agg_stats = AggregationStats()
+
+        def reducer(key, values):
+            if self.use_streaming:
+                from repro.core.streaming import (
+                    decode_fragment_alignment,
+                    text_to_shuffle_key,
+                )
+
+                key = text_to_shuffle_key(key)
+                values = [decode_fragment_alignment(v) for v in values]
+            subject_id, strand = key
+            q_codes = q_codes_plus if strand == PLUS_STRAND else q_codes_minus
+            s_codes = self.database[subject_id].codes
+            finals, stats = aggregate_subject_alignments(
+                values, q_codes, s_codes, self.engine, space,
+                mode=self.aggregation_mode,
+            )
+            agg_stats.merge(stats)
+            yield from finals
+
+        job = MapReduceJob(
+            mapper=mapper,
+            reducer=reducer,
+            num_reducers=self.num_reducers,
+            name=f"orion/{query.seq_id}",
+        )
+        splits = [
+            InputSplit(index=i, payload=(fragment, shard))
+            for i, (fragment, shard) in enumerate(
+                (f, s) for f in fragments for s in self.shards
+            )
+        ]
+        mr = SerialExecutor().run(job, splits)
+
+        aggregated: List[Alignment] = mr.flat_outputs()
+        ordered, sort_seconds = parallel_sort_alignments(
+            aggregated, num_tasks=self.sort_tasks
+        )
+        sort_seconds = [d * self.time_scale for d in sort_seconds]
+
+        # Work-unit records with hardware factors (fragment-length keyed).
+        map_recs = mr.map_records()
+        records: List[WorkUnitRecord] = []
+        for split, rec in zip(splits, map_recs):
+            fragment, shard = split.payload
+            unit = WorkUnit(
+                query_id=query.seq_id,
+                shard_index=shard.index,
+                fragment_index=fragment.index,
+                query_span=fragment.length,
+            )
+            factor = self._cache_factor(fragment.length)
+            if self.scan_model is None:
+                sim = rec.duration * factor * self.time_scale
+            else:
+                scan = self.scan_model.seconds(
+                    fragment.length * self.unit_scale,
+                    shard.total_length * self.db_unit_scale,
+                )
+                sim = factor * scan + rec.duration * self.time_scale
+            records.append(
+                WorkUnitRecord(
+                    unit=unit,
+                    measured_seconds=rec.duration,
+                    sim_seconds=sim,
+                    alignments=rec.output_records,
+                )
+            )
+        reduce_seconds = [r.duration * self.time_scale for r in mr.reduce_records()]
+
+        result = OrionResult(
+            query_id=query.seq_id,
+            alignments=ordered,
+            map_records=records,
+            reduce_seconds=reduce_seconds,
+            sort_seconds=sort_seconds,
+            fragment_length=frag_len,
+            overlap=overlap,
+            num_fragments=len(fragments),
+            num_shards=len(self.shards),
+            merged_pairs=agg_stats.merged_pairs,
+            dropped_partials=agg_stats.dropped_partials,
+        )
+        if cluster is not None:
+            result.schedule = self.simulate(result, cluster)
+        return result
+
+    def run_many(
+        self,
+        queries: Sequence[SequenceRecord],
+        cluster: Optional[ClusterSpec] = None,
+    ) -> Dict[str, OrionResult]:
+        """Search a query set (inter-query level of Fig. 1).
+
+        Work units from all queries form one pool — with a cluster given,
+        each result carries its own schedule and
+        :func:`simulate_query_set` offers the combined-job makespan.
+        """
+        results = {q.seq_id: self.run(q, cluster=None) for q in queries}
+        if cluster is not None:
+            for res in results.values():
+                res.schedule = self.simulate(res, cluster)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # simulation
+    # ------------------------------------------------------------------ #
+
+    def simulate(self, result: OrionResult, cluster: ClusterSpec) -> Schedule:
+        """Replay one result's tasks on a modelled cluster (Hadoop phases)."""
+        map_tasks = [
+            SimTask(task_id=r.unit.task_id, duration=r.sim_seconds, kind=TaskKind.MAP)
+            for r in result.map_records
+        ]
+        reduce_tasks = [
+            SimTask(task_id=f"reduce/{i:03d}", duration=d, kind=TaskKind.REDUCE)
+            for i, d in enumerate(result.reduce_seconds)
+        ]
+        sort_tasks = [
+            SimTask(task_id=f"sort/{i:03d}", duration=d, kind=TaskKind.REDUCE)
+            for i, d in enumerate(result.sort_seconds)
+        ]
+        return simulate_phases(
+            [map_tasks, reduce_tasks, sort_tasks], cluster, profile=self.profile
+        )
+
+    def simulate_query_set(
+        self, results: Sequence[OrionResult], cluster: ClusterSpec
+    ) -> Schedule:
+        """Simulate all queries' work as one Hadoop job (paper's Fig. 8 setup)."""
+        map_tasks = [
+            SimTask(task_id=r.unit.task_id, duration=r.sim_seconds, kind=TaskKind.MAP)
+            for res in results
+            for r in res.map_records
+        ]
+        reduce_tasks = [
+            SimTask(
+                task_id=f"{res.query_id}/reduce/{i:03d}", duration=d, kind=TaskKind.REDUCE
+            )
+            for res in results
+            for i, d in enumerate(res.reduce_seconds)
+        ]
+        sort_tasks = [
+            SimTask(
+                task_id=f"{res.query_id}/sort/{i:03d}", duration=d, kind=TaskKind.REDUCE
+            )
+            for res in results
+            for i, d in enumerate(res.sort_seconds)
+        ]
+        return simulate_phases(
+            [map_tasks, reduce_tasks, sort_tasks], cluster, profile=self.profile
+        )

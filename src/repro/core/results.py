@@ -1,0 +1,139 @@
+"""Orion result types: fragment-level alignments and the final result.
+
+Map tasks emit :class:`FragmentAlignment` — an alignment already translated
+to **global query coordinates**, still carrying its fragment provenance and
+partial flags. The reduce phase consumes them; :class:`OrionResult` is what
+:class:`repro.core.orion.OrionSearch` hands back to callers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.blast.hsp import Alignment
+from repro.cluster.simulator import Schedule
+from repro.units import WorkUnitRecord
+
+
+@dataclass(frozen=True)
+class FragmentAlignment:
+    """One map-task alignment with fragment provenance.
+
+    Attributes
+    ----------
+    alignment:
+        The alignment in global query coordinates (``query_id`` is the
+        original query's id, not the fragment's).
+    fragment_index:
+        Which fragment found it.
+    partial_left / partial_right:
+        True when the alignment reaches into the boundary margin of the
+        fragment's interior left/right edge — a candidate for merging with a
+        neighbour's partial (paper Section III-B).
+    """
+
+    alignment: Alignment
+    fragment_index: int
+    partial_left: bool = False
+    partial_right: bool = False
+    merged: bool = False  # produced by splicing/bridging during aggregation
+
+    def __post_init__(self) -> None:
+        if self.fragment_index < 0:
+            raise ValueError(f"fragment_index must be >= 0, got {self.fragment_index}")
+
+    @property
+    def is_partial(self) -> bool:
+        return self.partial_left or self.partial_right
+
+    @property
+    def shuffle_key(self):
+        """The reduce key: (subject id, strand) — paper Section IV-C."""
+        return (self.alignment.subject_id, self.alignment.strand)
+
+
+@dataclass
+class OrionResult:
+    """Output of one Orion search.
+
+    ``alignments`` is the final, globally sorted report (ascending E-value),
+    exactly what serial BLAST would print. Timing/bookkeeping fields expose
+    the fine-grained work units so experiments can simulate any cluster.
+    """
+
+    query_id: str
+    alignments: List[Alignment]
+    map_records: List[WorkUnitRecord]
+    reduce_seconds: List[float]
+    sort_seconds: List[float]
+    fragment_length: int
+    overlap: int
+    num_fragments: int
+    num_shards: int
+    merged_pairs: int = 0
+    dropped_partials: int = 0
+    schedule: Optional[Schedule] = None
+
+    def __len__(self) -> int:
+        return len(self.alignments)
+
+    @property
+    def num_work_units(self) -> int:
+        return len(self.map_records)
+
+    @property
+    def makespan_seconds(self) -> Optional[float]:
+        """Simulated makespan when a cluster was supplied to ``run``."""
+        return self.schedule.makespan if self.schedule is not None else None
+
+    def task_durations(self) -> np.ndarray:
+        """Simulated map+reduce task durations (the paper's Table III data)."""
+        durations = [r.sim_seconds for r in self.map_records]
+        durations.extend(self.reduce_seconds)
+        durations.extend(self.sort_seconds)
+        return np.array(durations, dtype=np.float64)
+
+    def rescaled(self, factor: float) -> "OrionResult":
+        """Copy with all *simulated* durations multiplied by ``factor``.
+
+        Used by experiments that calibrate the measured→simulated time scale
+        after running (the schedule, if any, is dropped — re-simulate).
+        """
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        from dataclasses import replace as _replace
+
+        records = [
+            WorkUnitRecord(
+                unit=r.unit,
+                measured_seconds=r.measured_seconds,
+                sim_seconds=r.sim_seconds * factor,
+                alignments=r.alignments,
+            )
+            for r in self.map_records
+        ]
+        return OrionResult(
+            query_id=self.query_id,
+            alignments=self.alignments,
+            map_records=records,
+            reduce_seconds=[d * factor for d in self.reduce_seconds],
+            sort_seconds=[d * factor for d in self.sort_seconds],
+            fragment_length=self.fragment_length,
+            overlap=self.overlap,
+            num_fragments=self.num_fragments,
+            num_shards=self.num_shards,
+            merged_pairs=self.merged_pairs,
+            dropped_partials=self.dropped_partials,
+            schedule=None,
+        )
+
+    def total_measured_seconds(self) -> float:
+        """Total real compute across all phases (work, not makespan)."""
+        return (
+            sum(r.measured_seconds for r in self.map_records)
+            + sum(self.reduce_seconds)
+            + sum(self.sort_seconds)
+        )

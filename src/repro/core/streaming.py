@@ -1,0 +1,101 @@
+"""Text codec for fragment alignments — the Hadoop-streaming data path.
+
+The published system runs under Hadoop *streaming*: map tasks print parsed
+BLAST results as text lines onto HDFS and reducers parse them back (paper
+Section IV-B lists the fields: database sequence id, offsets, lengths,
+fragment id, sense, E-value, and the match/mismatch/gap structure). This
+module is that wire format: one tab-separated line per fragment alignment,
+with the alignment path carried as a CIGAR string so the reduce phase can
+merge and rescore exactly as in object mode.
+
+``OrionSearch(use_streaming=True)`` routes every map→reduce record through
+this codec; tests assert bit-identical results against object mode.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.blast.hsp import Alignment, cigar_to_path, path_to_cigar
+from repro.core.results import FragmentAlignment
+
+#: Wire-format field order (see :func:`encode_fragment_alignment`).
+FIELDS = (
+    "query_id", "subject_id", "strand", "q_start", "q_end", "s_start", "s_end",
+    "score", "evalue", "bits", "matches", "mismatches", "gap_opens",
+    "gap_columns", "speculative", "fragment_index", "partial_left",
+    "partial_right", "cigar",
+)
+
+
+def encode_fragment_alignment(fa: FragmentAlignment) -> str:
+    """One fragment alignment as a tab-separated text line."""
+    a = fa.alignment
+    cigar = path_to_cigar(a.path) if a.path is not None else "*"
+    fields = [
+        a.query_id, a.subject_id, str(a.strand),
+        str(a.q_start), str(a.q_end), str(a.s_start), str(a.s_end),
+        str(a.score), repr(a.evalue), repr(a.bits),
+        str(a.matches), str(a.mismatches), str(a.gap_opens), str(a.gap_columns),
+        "1" if a.speculative else "0",
+        str(fa.fragment_index),
+        "1" if fa.partial_left else "0",
+        "1" if fa.partial_right else "0",
+        cigar,
+    ]
+    for f in fields[:2]:
+        if "\t" in f or "\n" in f:
+            raise ValueError(f"identifier contains a separator: {f!r}")
+    return "\t".join(fields)
+
+
+def decode_fragment_alignment(line: str) -> FragmentAlignment:
+    """Inverse of :func:`encode_fragment_alignment`."""
+    parts = line.rstrip("\n").split("\t")
+    if len(parts) != len(FIELDS):
+        raise ValueError(
+            f"expected {len(FIELDS)} fields, got {len(parts)}: {line[:80]!r}"
+        )
+    (qid, sid, strand, qs, qe, ss, se, score, evalue, bits, matches,
+     mismatches, gap_opens, gap_columns, spec, frag_idx, pl, pr, cigar) = parts
+    path = None if cigar == "*" else cigar_to_path(cigar)
+    alignment = Alignment(
+        query_id=qid,
+        subject_id=sid,
+        strand=int(strand),
+        q_start=int(qs),
+        q_end=int(qe),
+        s_start=int(ss),
+        s_end=int(se),
+        score=int(score),
+        evalue=float(evalue),
+        bits=float(bits),
+        matches=int(matches),
+        mismatches=int(mismatches),
+        gap_opens=int(gap_opens),
+        gap_columns=int(gap_columns),
+        speculative=spec == "1",
+        path=path,
+    )
+    return FragmentAlignment(
+        alignment=alignment,
+        fragment_index=int(frag_idx),
+        partial_left=pl == "1",
+        partial_right=pr == "1",
+    )
+
+
+def shuffle_key_to_text(key: Tuple[str, int]) -> str:
+    """(subject id, strand) → a single text shuffle key."""
+    subject_id, strand = key
+    return f"{subject_id}|{strand}"
+
+
+def text_to_shuffle_key(text: str) -> Tuple[str, int]:
+    """Inverse of :func:`shuffle_key_to_text`."""
+    subject_id, _, strand = text.rpartition("|")
+    if not subject_id:
+        raise ValueError(f"malformed shuffle key {text!r}")
+    return subject_id, int(strand)

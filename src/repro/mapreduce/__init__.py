@@ -1,0 +1,32 @@
+"""An in-process MapReduce framework (the Hadoop substrate, paper Section IV).
+
+Orion's search is "a natural fit for MapReduce": map tasks run BLAST on
+(query-fragment, database-shard) pairs; the shuffle keys alignments by
+database sequence id; reduce tasks aggregate and sort. This package provides
+that framework for real: input splits, mappers, combiners, partitioners, a
+sorted shuffle, reducers, pluggable executors that *measure* per-task
+durations (consumed later by :mod:`repro.cluster`'s simulator), and a
+block-oriented shared-storage model standing in for HDFS.
+"""
+
+from repro.mapreduce.types import InputSplit, JobResult, TaskKind, TaskRecord
+from repro.mapreduce.partitioner import hash_partitioner, make_range_partitioner
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.runtime import SerialExecutor, ThreadedExecutor
+from repro.mapreduce.storage import BlockStore, StoredFile
+from repro.mapreduce.streaming import run_streaming_job
+
+__all__ = [
+    "InputSplit",
+    "JobResult",
+    "TaskKind",
+    "TaskRecord",
+    "hash_partitioner",
+    "make_range_partitioner",
+    "MapReduceJob",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "BlockStore",
+    "StoredFile",
+    "run_streaming_job",
+]

@@ -1,0 +1,107 @@
+"""MapReduce job definition and the shuffle.
+
+A :class:`MapReduceJob` bundles the user code (mapper, optional combiner,
+reducer, partitioner); executors in :mod:`repro.mapreduce.runtime` drive it.
+The shuffle groups map output by key *within each partition* and sorts keys
+(Hadoop's sort-based shuffle), so reducers see keys in order and value lists
+in map-task order — deterministic end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.mapreduce.partitioner import Partitioner, hash_partitioner
+from repro.mapreduce.types import InputSplit
+
+#: mapper: InputSplit -> iterable of (key, value)
+Mapper = Callable[[InputSplit], Iterable[Tuple[Any, Any]]]
+#: reducer: (key, values) -> iterable of output items
+Reducer = Callable[[Any, List[Any]], Iterable[Any]]
+#: combiner: (key, values) -> iterable of combined values (same key)
+Combiner = Callable[[Any, List[Any]], Iterable[Any]]
+
+
+@dataclass
+class MapReduceJob:
+    """One MapReduce program.
+
+    Attributes
+    ----------
+    mapper / reducer:
+        The user map and reduce functions.
+    num_reducers:
+        Reduce-side parallelism (paper: multiple reducers working on
+        different database sequences / score ranges in parallel).
+    partitioner:
+        Key → reducer index; defaults to deterministic hashing.
+    combiner:
+        Optional map-side pre-aggregation, applied per map task.
+    name:
+        Label used in task ids and logs.
+    """
+
+    mapper: Mapper
+    reducer: Reducer
+    num_reducers: int = 1
+    partitioner: Partitioner = hash_partitioner
+    combiner: Optional[Combiner] = None
+    name: str = "job"
+
+    def __post_init__(self) -> None:
+        if self.num_reducers <= 0:
+            raise ValueError(f"num_reducers must be positive, got {self.num_reducers}")
+        if not callable(self.mapper) or not callable(self.reducer):
+            raise TypeError("mapper and reducer must be callable")
+
+    # ------------------------------------------------------------------ #
+
+    def run_map_task(self, split: InputSplit) -> List[Tuple[Any, Any]]:
+        """Execute the mapper (and combiner) for one split."""
+        pairs = list(self.mapper(split))
+        if self.combiner is None:
+            return pairs
+        grouped = group_by_key(pairs)
+        combined: List[Tuple[Any, Any]] = []
+        for key, values in grouped:
+            for value in self.combiner(key, values):
+                combined.append((key, value))
+        return combined
+
+    def shuffle(
+        self, map_outputs: Sequence[Sequence[Tuple[Any, Any]]]
+    ) -> List[List[Tuple[Any, List[Any]]]]:
+        """Partition and group all map output.
+
+        Returns, per reducer partition, a key-sorted list of
+        ``(key, [values...])`` groups.
+        """
+        partitions: List[List[Tuple[Any, Any]]] = [[] for _ in range(self.num_reducers)]
+        for task_output in map_outputs:
+            for key, value in task_output:
+                p = self.partitioner(key, self.num_reducers)
+                if not 0 <= p < self.num_reducers:
+                    raise ValueError(
+                        f"partitioner returned {p} for key {key!r} "
+                        f"(num_reducers={self.num_reducers})"
+                    )
+                partitions[p].append((key, value))
+        return [group_by_key(part) for part in partitions]
+
+    def run_reduce_task(
+        self, groups: Sequence[Tuple[Any, List[Any]]]
+    ) -> List[Any]:
+        """Execute the reducer over one partition's key groups."""
+        out: List[Any] = []
+        for key, values in groups:
+            out.extend(self.reducer(key, values))
+        return out
+
+
+def group_by_key(pairs: Iterable[Tuple[Any, Any]]) -> List[Tuple[Any, List[Any]]]:
+    """Group (key, value) pairs by key; keys sorted, values in input order."""
+    buckets: Dict[Any, List[Any]] = {}
+    for key, value in pairs:
+        buckets.setdefault(key, []).append(value)
+    return [(key, buckets[key]) for key in sorted(buckets.keys())]

@@ -1,0 +1,58 @@
+"""Partitioners: map shuffle keys to reducer indices.
+
+Python's builtin ``hash`` is randomized per process for strings, which would
+make reducer assignment (and thus task-duration records) non-deterministic
+across runs; partitioning therefore uses CRC32 over a canonical byte
+rendering of the key.
+"""
+
+from __future__ import annotations
+
+import zlib
+from bisect import bisect_right
+from typing import Any, Callable, List, Sequence
+
+Partitioner = Callable[[Any, int], int]
+
+
+def _key_bytes(key: Any) -> bytes:
+    if isinstance(key, bytes):
+        return key
+    if isinstance(key, str):
+        return key.encode("utf-8")
+    if isinstance(key, (int, float, bool)):
+        return repr(key).encode("ascii")
+    if isinstance(key, tuple):
+        return b"\x00".join(_key_bytes(k) for k in key)
+    raise TypeError(f"unhashable shuffle key type for partitioning: {type(key).__name__}")
+
+
+def hash_partitioner(key: Any, num_partitions: int) -> int:
+    """Deterministic hash partitioning (Hadoop's default behaviour)."""
+    if num_partitions <= 0:
+        raise ValueError(f"num_partitions must be positive, got {num_partitions}")
+    return zlib.crc32(_key_bytes(key)) % num_partitions
+
+
+def make_range_partitioner(splitters: Sequence[Any]) -> Partitioner:
+    """Range partitioner from sorted splitter values.
+
+    Keys below ``splitters[0]`` go to partition 0, keys in
+    ``[splitters[i-1], splitters[i])`` to partition i, and so on — the
+    foundation of Orion's parallel sample-sort of results (Section IV-D):
+    each reducer sorts a disjoint key range, so concatenating reducer outputs
+    yields a globally sorted sequence.
+    """
+    split_list: List[Any] = list(splitters)
+    if any(split_list[i] > split_list[i + 1] for i in range(len(split_list) - 1)):
+        raise ValueError("splitters must be sorted ascending")
+
+    def partition(key: Any, num_partitions: int) -> int:
+        if num_partitions != len(split_list) + 1:
+            raise ValueError(
+                f"range partitioner built for {len(split_list) + 1} partitions, "
+                f"job configured {num_partitions}"
+            )
+        return bisect_right(split_list, key)
+
+    return partition

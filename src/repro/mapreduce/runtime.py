@@ -1,0 +1,106 @@
+"""Executors: run a MapReduce job and measure per-task durations.
+
+Two executors with identical semantics:
+
+* :class:`SerialExecutor` — runs every task in this thread. Its per-task
+  wall-clock durations are the *measurements* the cluster simulator replays
+  onto modelled clusters (DESIGN.md §2: measured work, simulated scheduling).
+* :class:`ThreadedExecutor` — a thread pool, for overlap of any releasing-GIL
+  NumPy work and as a concurrency correctness check (results must be
+  identical to serial execution; tests assert this).
+
+Both return the same :class:`~repro.mapreduce.types.JobResult` for the same
+job and splits, independent of scheduling order.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, List, Sequence, Tuple
+
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.types import InputSplit, JobResult, TaskKind, TaskRecord
+from repro.util.timers import Stopwatch
+
+
+def _measure_map(job: MapReduceJob, split: InputSplit) -> Tuple[List[Tuple[Any, Any]], TaskRecord]:
+    sw = Stopwatch().start()
+    pairs = job.run_map_task(split)
+    dur = sw.stop()
+    rec = TaskRecord(
+        task_id=f"{job.name}/map/{split.index:05d}",
+        kind=TaskKind.MAP,
+        duration=dur,
+        input_records=1,
+        output_records=len(pairs),
+    )
+    return pairs, rec
+
+
+def _measure_reduce(
+    job: MapReduceJob, partition_index: int, groups
+) -> Tuple[List[Any], TaskRecord]:
+    sw = Stopwatch().start()
+    out = job.run_reduce_task(groups)
+    dur = sw.stop()
+    rec = TaskRecord(
+        task_id=f"{job.name}/reduce/{partition_index:05d}",
+        kind=TaskKind.REDUCE,
+        duration=dur,
+        input_records=sum(len(v) for _, v in groups),
+        output_records=len(out),
+    )
+    return out, rec
+
+
+class SerialExecutor:
+    """Run all tasks sequentially in the calling thread."""
+
+    def run(self, job: MapReduceJob, splits: Sequence[InputSplit]) -> JobResult:
+        map_outputs: List[List[Tuple[Any, Any]]] = []
+        records: List[TaskRecord] = []
+        for split in splits:
+            pairs, rec = _measure_map(job, split)
+            map_outputs.append(pairs)
+            records.append(rec)
+        partitions = job.shuffle(map_outputs)
+        outputs: List[List[Any]] = []
+        for p, groups in enumerate(partitions):
+            out, rec = _measure_reduce(job, p, groups)
+            outputs.append(out)
+            records.append(rec)
+        distinct = len({key for part in partitions for key, _ in part})
+        return JobResult(outputs=outputs, records=records, shuffle_keys=distinct)
+
+
+class ThreadedExecutor:
+    """Run map and reduce tasks on a thread pool.
+
+    Output ordering is normalized after the barrier (map outputs indexed by
+    split, reducer outputs by partition), so results are deterministic
+    regardless of thread interleaving.
+    """
+
+    def __init__(self, max_workers: int = 4) -> None:
+        if max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        self.max_workers = max_workers
+
+    def run(self, job: MapReduceJob, splits: Sequence[InputSplit]) -> JobResult:
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            map_results = list(pool.map(lambda s: _measure_map(job, s), splits))
+        map_outputs = [pairs for pairs, _ in map_results]
+        records: List[TaskRecord] = [rec for _, rec in map_results]
+
+        partitions = job.shuffle(map_outputs)
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            reduce_results = list(
+                pool.map(
+                    lambda item: _measure_reduce(job, item[0], item[1]),
+                    enumerate(partitions),
+                )
+            )
+        outputs = [out for out, _ in reduce_results]
+        records.extend(rec for _, rec in reduce_results)
+        distinct = len({key for part in partitions for key, _ in part})
+        return JobResult(outputs=outputs, records=records, shuffle_keys=distinct)

@@ -1,0 +1,135 @@
+"""HDFS-like shared storage model.
+
+The paper stages everything through shared storage: ``mpiformatdb`` writes
+shards, the fragmenter writes query fragments, map tasks write parsed BLAST
+results, reducers read them back. :class:`BlockStore` models that layer: a
+flat namespace of immutable files, each split into fixed-size blocks that
+are placed on nodes round-robin with a replication factor — enough structure
+to reason about locality and storage volume without pretending to be a real
+distributed filesystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Hadoop 1.x default block size (64 MB), in bytes.
+DEFAULT_BLOCK_SIZE = 64 * 1024 * 1024
+DEFAULT_REPLICATION = 3
+
+
+@dataclass(frozen=True)
+class StoredFile:
+    """Metadata for one stored file."""
+
+    path: str
+    size: int
+    num_blocks: int
+    block_locations: Tuple[Tuple[int, ...], ...]  # per block: node ids holding it
+
+
+class BlockStore:
+    """In-memory block-structured file store.
+
+    Parameters
+    ----------
+    num_nodes:
+        Datanode count for block placement.
+    block_size / replication:
+        Placement parameters (Hadoop 1.x defaults).
+    """
+
+    def __init__(
+        self,
+        num_nodes: int = 1,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        replication: int = DEFAULT_REPLICATION,
+    ) -> None:
+        if num_nodes <= 0:
+            raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+        if block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {block_size}")
+        if replication <= 0:
+            raise ValueError(f"replication must be positive, got {replication}")
+        self.num_nodes = num_nodes
+        self.block_size = block_size
+        self.replication = min(replication, num_nodes)
+        self._data: Dict[str, bytes] = {}
+        self._meta: Dict[str, StoredFile] = {}
+        self._next_node = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _place_blocks(self, num_blocks: int) -> Tuple[Tuple[int, ...], ...]:
+        locations = []
+        for _ in range(num_blocks):
+            nodes = tuple(
+                (self._next_node + r) % self.num_nodes for r in range(self.replication)
+            )
+            self._next_node = (self._next_node + 1) % self.num_nodes
+            locations.append(nodes)
+        return tuple(locations)
+
+    def write_bytes(self, path: str, data: bytes) -> StoredFile:
+        """Create (or replace) a file."""
+        if not path or path.endswith("/"):
+            raise ValueError(f"invalid path: {path!r}")
+        num_blocks = max(1, -(-len(data) // self.block_size))
+        meta = StoredFile(
+            path=path,
+            size=len(data),
+            num_blocks=num_blocks,
+            block_locations=self._place_blocks(num_blocks),
+        )
+        self._data[path] = data
+        self._meta[path] = meta
+        return meta
+
+    def write_text(self, path: str, text: str) -> StoredFile:
+        return self.write_bytes(path, text.encode("utf-8"))
+
+    def read_bytes(self, path: str) -> bytes:
+        if path not in self._data:
+            raise FileNotFoundError(path)
+        return self._data[path]
+
+    def read_text(self, path: str) -> str:
+        return self.read_bytes(path).decode("utf-8")
+
+    def stat(self, path: str) -> StoredFile:
+        if path not in self._meta:
+            raise FileNotFoundError(path)
+        return self._meta[path]
+
+    def exists(self, path: str) -> bool:
+        return path in self._data
+
+    def delete(self, path: str) -> None:
+        if path not in self._data:
+            raise FileNotFoundError(path)
+        del self._data[path]
+        del self._meta[path]
+
+    def listdir(self, prefix: str) -> List[str]:
+        """All paths under a directory-like prefix, sorted."""
+        if not prefix.endswith("/"):
+            prefix += "/"
+        return sorted(p for p in self._data if p.startswith(prefix))
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_bytes(self) -> int:
+        """Logical bytes stored (before replication)."""
+        return sum(m.size for m in self._meta.values())
+
+    @property
+    def total_blocks(self) -> int:
+        return sum(m.num_blocks for m in self._meta.values())
+
+    def locality_nodes(self, path: str) -> Tuple[int, ...]:
+        """Nodes holding at least one block of the file (locality hints)."""
+        meta = self.stat(path)
+        nodes = sorted({n for block in meta.block_locations for n in block})
+        return tuple(nodes)

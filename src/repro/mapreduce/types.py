@@ -1,0 +1,97 @@
+"""Core MapReduce value types shared by the job runner and executors."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+
+class TaskKind(enum.Enum):
+    """Which phase a task belongs to."""
+
+    MAP = "map"
+    REDUCE = "reduce"
+
+
+@dataclass(frozen=True)
+class InputSplit:
+    """One unit of map input (Hadoop's InputSplit).
+
+    ``payload`` is arbitrary — for Orion it is a (fragment, shard) work
+    descriptor. ``size_hint`` feeds storage/locality modelling.
+    """
+
+    index: int
+    payload: Any
+    size_hint: int = 0
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"split index must be non-negative, got {self.index}")
+        if self.size_hint < 0:
+            raise ValueError(f"size_hint must be non-negative, got {self.size_hint}")
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """Measured execution record of one task.
+
+    ``duration`` is real measured seconds on the executing machine; the
+    cluster simulator replays these records onto a modelled cluster, so this
+    type is the contract between :mod:`repro.mapreduce` and
+    :mod:`repro.cluster`.
+    """
+
+    task_id: str
+    kind: TaskKind
+    duration: float
+    input_records: int = 0
+    output_records: int = 0
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"duration must be non-negative, got {self.duration}")
+        if not self.task_id:
+            raise ValueError("task_id must be non-empty")
+
+    def scaled(self, factor: float) -> "TaskRecord":
+        """Copy with duration multiplied (hardware-model application)."""
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        return TaskRecord(
+            task_id=self.task_id,
+            kind=self.kind,
+            duration=self.duration * factor,
+            input_records=self.input_records,
+            output_records=self.output_records,
+        )
+
+
+@dataclass
+class JobResult:
+    """Output of one MapReduce job execution.
+
+    Attributes
+    ----------
+    outputs:
+        Per-reducer output lists, indexed by partition.
+    records:
+        One :class:`TaskRecord` per executed map/reduce task.
+    shuffle_keys:
+        Distinct keys seen in the shuffle (diagnostics / tests).
+    """
+
+    outputs: List[List[Any]]
+    records: List[TaskRecord]
+    shuffle_keys: int = 0
+
+    def flat_outputs(self) -> List[Any]:
+        """All reducer outputs concatenated in partition order."""
+        return [item for part in self.outputs for item in part]
+
+    def map_records(self) -> List[TaskRecord]:
+        return [r for r in self.records if r.kind is TaskKind.MAP]
+
+    def reduce_records(self) -> List[TaskRecord]:
+        return [r for r in self.records if r.kind is TaskKind.REDUCE]

@@ -1,0 +1,51 @@
+"""Sequence composition statistics.
+
+Used by tests to check generator output and by :mod:`repro.blast.statistics`
+callers that want background base frequencies for the Karlin–Altschul model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.sequence.alphabet import ALPHABET_SIZE, BASES
+
+
+def base_frequencies(codes: np.ndarray) -> np.ndarray:
+    """Empirical frequency of each base (length-4 vector summing to 1)."""
+    codes = np.asarray(codes)
+    valid = codes[codes < ALPHABET_SIZE]
+    if valid.size == 0:
+        raise ValueError("sequence contains no valid bases")
+    counts = np.bincount(valid, minlength=ALPHABET_SIZE).astype(np.float64)
+    return counts / counts.sum()
+
+
+def gc_content(codes: np.ndarray) -> float:
+    """Fraction of G/C among valid bases."""
+    freqs = base_frequencies(codes)
+    return float(freqs[BASES.index("C")] + freqs[BASES.index("G")])
+
+
+def shannon_entropy(codes: np.ndarray) -> float:
+    """Shannon entropy (bits) of the base distribution; max 2.0 for DNA."""
+    freqs = base_frequencies(codes)
+    nz = freqs[freqs > 0]
+    return float(-(nz * np.log2(nz)).sum())
+
+
+def kmer_spectrum(codes: np.ndarray, k: int) -> Dict[int, int]:
+    """Counts of each 2-bit-packed k-mer code present in the sequence.
+
+    Windows containing an invalid base are skipped. Packing matches
+    :func:`repro.blast.lookup.kmer_codes` so spectra are comparable with the
+    engine's lookup keys.
+    """
+    from repro.blast.lookup import kmer_codes  # local import: avoid cycle
+
+    codes_arr, valid = kmer_codes(np.asarray(codes, dtype=np.uint8), k)
+    present = codes_arr[valid]
+    uniq, counts = np.unique(present, return_counts=True)
+    return {int(u): int(c) for u, c in zip(uniq, counts)}

@@ -1,0 +1,29 @@
+"""Shared utilities: deterministic RNG plumbing, timers, validation helpers.
+
+Everything in :mod:`repro` that needs randomness or timing goes through this
+package so that experiments are reproducible and simulated time never mixes
+with wall-clock time by accident.
+"""
+
+from repro.util.rng import RngStream, derive_rng, spawn_rngs
+from repro.util.timers import Stopwatch, format_seconds
+from repro.util.validation import (
+    check_fraction,
+    check_in,
+    check_nonnegative,
+    check_positive,
+    check_type,
+)
+
+__all__ = [
+    "RngStream",
+    "derive_rng",
+    "spawn_rngs",
+    "Stopwatch",
+    "format_seconds",
+    "check_fraction",
+    "check_in",
+    "check_nonnegative",
+    "check_positive",
+    "check_type",
+]

@@ -1,0 +1,70 @@
+"""Plain-text table rendering for benchmark reports.
+
+The benchmark harness regenerates the paper's tables/figures as text; this
+module renders aligned columns the way the paper's tables read, so
+EXPERIMENTS.md and bench output stay consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+def format_cell(value: Any) -> str:
+    """Render a table cell: floats get 4 significant digits, rest ``str``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table with a header rule.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5]]))
+    a  b
+    -  ---
+    1  2.5
+    """
+    cells = [[format_cell(v) for v in row] for row in rows]
+    for i, row in enumerate(cells):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    y_labels: Sequence[str],
+    x_values: Sequence[Any],
+    y_columns: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a figure's data series as a table (x column + one col/series)."""
+    if any(len(col) != len(x_values) for col in y_columns):
+        raise ValueError("every series must have one value per x point")
+    headers = [x_label, *y_labels]
+    rows = [[x, *(col[i] for col in y_columns)] for i, x in enumerate(x_values)]
+    return render_table(headers, rows, title=title)

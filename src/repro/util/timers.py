@@ -1,0 +1,102 @@
+"""Wall-clock measurement helpers.
+
+The cluster simulator works in *simulated* seconds derived from measured
+per-task durations; :class:`Stopwatch` is the single place real time is read
+so the two notions of time stay clearly separated.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class Stopwatch:
+    """A simple start/stop wall-clock timer built on ``perf_counter``.
+
+    Can be used as a context manager::
+
+        with Stopwatch() as sw:
+            work()
+        print(sw.elapsed)
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self._elapsed: float = 0.0
+        self.running = False
+
+    def start(self) -> "Stopwatch":
+        if self.running:
+            raise RuntimeError("stopwatch already running")
+        self._start = time.perf_counter()
+        self.running = True
+        return self
+
+    def stop(self) -> float:
+        if not self.running or self._start is None:
+            raise RuntimeError("stopwatch is not running")
+        self._elapsed += time.perf_counter() - self._start
+        self.running = False
+        self._start = None
+        return self._elapsed
+
+    def reset(self) -> None:
+        self._start = None
+        self._elapsed = 0.0
+        self.running = False
+
+    @property
+    def elapsed(self) -> float:
+        """Total accumulated seconds (includes the live segment if running)."""
+        if self.running and self._start is not None:
+            return self._elapsed + (time.perf_counter() - self._start)
+        return self._elapsed
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        if self.running:
+            self.stop()
+
+
+@dataclass
+class TimerRegistry:
+    """Accumulates named durations, e.g. per-phase breakdowns of a search."""
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, name: str, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"negative duration for {name!r}: {seconds}")
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def mean(self, name: str) -> float:
+        return self.totals[name] / self.counts[name]
+
+    def report_lines(self) -> List[str]:
+        width = max((len(n) for n in self.totals), default=0)
+        return [
+            f"{name.ljust(width)}  total={format_seconds(self.totals[name])}"
+            f"  n={self.counts[name]}  mean={format_seconds(self.mean(name))}"
+            for name in sorted(self.totals)
+        ]
+
+
+def format_seconds(seconds: float) -> str:
+    """Human format: ``950ms``, ``12.3s``, ``4m32s``, ``2h05m``."""
+    if seconds < 0:
+        raise ValueError(f"negative duration: {seconds}")
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.0f}ms"
+    if seconds < 120.0:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(seconds, 60.0)
+    if minutes < 120.0:
+        return f"{int(minutes)}m{int(secs):02d}s"
+    hours, mins = divmod(minutes, 60.0)
+    return f"{int(hours)}h{int(mins):02d}m"

@@ -1,0 +1,52 @@
+"""Small argument-validation helpers used across the library.
+
+These keep public entry points honest (fail fast with a clear message)
+without littering every function with ad-hoc ``if`` chains.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Type, Union
+
+Number = Union[int, float]
+
+
+def check_positive(name: str, value: Number) -> Number:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_nonnegative(name: str, value: Number) -> Number:
+    """Require ``value >= 0``."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: Number, inclusive: bool = True) -> Number:
+    """Require ``value`` in [0, 1] (or (0, 1) when ``inclusive=False``)."""
+    if inclusive:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    else:
+        if not 0.0 < value < 1.0:
+            raise ValueError(f"{name} must be in (0, 1), got {value!r}")
+    return value
+
+
+def check_in(name: str, value: Any, allowed: Iterable[Any]) -> Any:
+    """Require membership in an allowed set."""
+    allowed = tuple(allowed)
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {allowed!r}, got {value!r}")
+    return value
+
+
+def check_type(name: str, value: Any, types: Union[Type, tuple]) -> Any:
+    """Require isinstance, with a readable error."""
+    if not isinstance(value, types):
+        expect = getattr(types, "__name__", str(types))
+        raise TypeError(f"{name} must be {expect}, got {type(value).__name__}")
+    return value

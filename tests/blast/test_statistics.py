@@ -1,0 +1,126 @@
+"""Tests for Karlin–Altschul statistics — including the paper's Table II."""
+
+import math
+
+import pytest
+
+from repro.blast.scoring import ScoringScheme
+from repro.blast.statistics import (
+    bit_score,
+    effective_lengths,
+    evalue,
+    karlin_altschul,
+    minimum_significant_score,
+    score_for_evalue,
+)
+
+
+@pytest.fixture(scope="module")
+def ka_1_3():
+    return karlin_altschul(ScoringScheme(reward=1, penalty=-3))
+
+
+class TestTableII:
+    """The paper's Table II: λ=1.374, K=0.711 for the Drosophila run
+    (blastn +1/−3 ungapped constants)."""
+
+    def test_lambda_matches_paper(self, ka_1_3):
+        assert ka_1_3.lam == pytest.approx(1.374, abs=5e-4)
+
+    def test_k_matches_paper(self, ka_1_3):
+        assert ka_1_3.K == pytest.approx(0.711, abs=5e-4)
+
+    def test_entropy_positive(self, ka_1_3):
+        assert ka_1_3.H > 0
+
+
+class TestOtherNcbiConstants:
+    """Cross-checks against published NCBI ungapped nucleotide constants."""
+
+    def test_plus2_minus3(self):
+        ka = karlin_altschul(ScoringScheme(reward=2, penalty=-3))
+        assert ka.lam == pytest.approx(0.634, abs=2e-3)
+        assert ka.K == pytest.approx(0.408, abs=2e-3)
+
+    def test_plus1_minus2(self):
+        ka = karlin_altschul(ScoringScheme(reward=1, penalty=-2))
+        assert ka.lam == pytest.approx(1.33, abs=5e-3)
+
+    def test_lambda_root_property(self, ka_1_3):
+        """λ satisfies Σ pₛ·e^{λs} = 1 by definition."""
+        scheme = ScoringScheme(reward=1, penalty=-3)
+        total = sum(p * math.exp(ka_1_3.lam * s) for s, p in scheme.score_pmf().items())
+        assert total == pytest.approx(1.0, abs=1e-10)
+
+    def test_nonnegative_expected_score_rejected(self):
+        with pytest.raises(ValueError):
+            karlin_altschul(ScoringScheme(reward=5, penalty=-1))
+
+
+class TestEffectiveLengths:
+    def test_shorter_than_raw(self, ka_1_3):
+        sp = effective_lengths(ka_1_3, 10_000, 1_000_000, 100)
+        assert 0 < sp.m_eff < 10_000
+        assert 0 < sp.n_eff < 1_000_000
+
+    def test_adjustment_grows_with_space(self, ka_1_3):
+        small = effective_lengths(ka_1_3, 1000, 10_000, 1)
+        big = effective_lengths(ka_1_3, 1000, 100_000_000, 1)
+        assert (1000 - big.m_eff) >= (1000 - small.m_eff)
+
+    def test_tiny_query_stays_positive(self, ka_1_3):
+        sp = effective_lengths(ka_1_3, 5, 1_000_000, 10)
+        assert sp.m_eff >= 1
+        assert sp.n_eff >= 1
+
+    def test_invalid_inputs_rejected(self, ka_1_3):
+        with pytest.raises(ValueError):
+            effective_lengths(ka_1_3, 0, 100, 1)
+
+
+class TestEvalue:
+    def test_decreases_with_score(self, ka_1_3):
+        sp = effective_lengths(ka_1_3, 10_000, 1_000_000, 10)
+        assert evalue(ka_1_3, 50, sp) > evalue(ka_1_3, 60, sp)
+
+    def test_grows_with_search_space(self, ka_1_3):
+        small = effective_lengths(ka_1_3, 1000, 100_000, 1)
+        big = effective_lengths(ka_1_3, 1000, 10_000_000, 1)
+        assert evalue(ka_1_3, 40, big) > evalue(ka_1_3, 40, small)
+
+    def test_negative_score_rejected(self, ka_1_3):
+        sp = effective_lengths(ka_1_3, 1000, 100_000, 1)
+        with pytest.raises(ValueError):
+            evalue(ka_1_3, -1, sp)
+
+    def test_score_for_evalue_inverse(self, ka_1_3):
+        sp = effective_lengths(ka_1_3, 10_000, 1_000_000, 10)
+        s = score_for_evalue(ka_1_3, 10.0, sp)
+        assert evalue(ka_1_3, s, sp) == pytest.approx(10.0, rel=1e-9)
+
+
+class TestBitScore:
+    def test_formula(self, ka_1_3):
+        s = 100
+        expected = (ka_1_3.lam * s - math.log(ka_1_3.K)) / math.log(2)
+        assert bit_score(ka_1_3, s) == pytest.approx(expected)
+
+
+class TestMinimumSignificantScore:
+    def test_is_paper_s_lb(self, ka_1_3):
+        """S_lb is the smallest integer score with E <= threshold."""
+        sp = effective_lengths(ka_1_3, 100_000, 100_000_000, 1000)
+        s_lb = minimum_significant_score(ka_1_3, 10.0, sp)
+        assert evalue(ka_1_3, s_lb, sp) <= 10.0
+        assert evalue(ka_1_3, s_lb - 1, sp) > 10.0
+
+    def test_grows_with_database(self, ka_1_3):
+        small = effective_lengths(ka_1_3, 10_000, 100_000, 10)
+        big = effective_lengths(ka_1_3, 10_000, 1_000_000_000, 10)
+        assert minimum_significant_score(ka_1_3, 10.0, big) > minimum_significant_score(
+            ka_1_3, 10.0, small
+        )
+
+    def test_floor_at_one(self, ka_1_3):
+        tiny = effective_lengths(ka_1_3, 2, 2, 1)
+        assert minimum_significant_score(ka_1_3, 1000.0, tiny) >= 1

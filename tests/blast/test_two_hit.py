@@ -1,0 +1,122 @@
+"""Tests for the two-hit seeding heuristic."""
+
+import numpy as np
+import pytest
+
+from repro.blast.engine import BlastEngine
+from repro.blast.hsp import SeedHits
+from repro.blast.params import BlastParams
+from repro.blast.seeds import two_hit_filter
+from repro.sequence.alphabet import random_bases
+from repro.sequence.records import Database, SequenceRecord
+
+
+def hits_from(pairs, k=11):
+    q = np.array([p[0] for p in pairs], dtype=np.int64)
+    s = np.array([p[1] for p in pairs], dtype=np.int64)
+    return SeedHits(q, s, k)
+
+
+class TestTwoHitFilter:
+    def test_isolated_hit_dropped(self):
+        hits = hits_from([(100, 500)])
+        assert len(two_hit_filter(hits, 40)) == 0
+
+    def test_pair_on_same_diagonal_kept(self):
+        hits = hits_from([(100, 500), (120, 520)])  # same diagonal, 20 apart
+        out = two_hit_filter(hits, 40)
+        assert len(out) == 2
+
+    def test_pair_beyond_window_dropped(self):
+        hits = hits_from([(100, 500), (200, 600)])  # same diagonal, 100 apart
+        assert len(two_hit_filter(hits, 40)) == 0
+
+    def test_different_diagonals_not_paired(self):
+        hits = hits_from([(100, 500), (120, 525)])  # diagonals 400 vs 405
+        assert len(two_hit_filter(hits, 40)) == 0
+
+    def test_chain_of_three_all_kept(self):
+        hits = hits_from([(100, 500), (130, 530), (160, 560)])
+        assert len(two_hit_filter(hits, 40)) == 3
+
+    def test_mixed(self):
+        hits = hits_from([(100, 500), (120, 520), (9000, 20)])
+        out = two_hit_filter(hits, 40)
+        assert sorted(out.q_pos.tolist()) == [100, 120]
+
+    def test_window_validated(self):
+        with pytest.raises(ValueError):
+            two_hit_filter(hits_from([(1, 1)]), 0)
+
+    def test_empty(self):
+        assert len(two_hit_filter(hits_from([]), 40)) == 0
+
+
+class TestTwoHitInEngine:
+    def _workload(self):
+        rng = np.random.default_rng(5)
+        homolog = random_bases(rng, 400)
+        query = SequenceRecord(
+            seq_id="q",
+            codes=np.concatenate([random_bases(rng, 2000), homolog, random_bases(rng, 2000)]),
+        )
+        subject = SequenceRecord(
+            seq_id="s", codes=np.concatenate([random_bases(rng, 500), homolog])
+        )
+        return query, Database([subject])
+
+    def test_long_homology_survives_two_hit(self):
+        query, db = self._workload()
+        one_hit = BlastEngine(BlastParams()).search(query, db)
+        two_hit = BlastEngine(BlastParams(two_hit_window=40)).search(query, db)
+        best_one = max(a.score for a in one_hit.alignments)
+        best_two = max(a.score for a in two_hit.alignments)
+        assert best_two == best_one  # the real alignment is found either way
+
+    def test_two_hit_is_subset_of_one_hit(self):
+        """Two-hit can only drop alignments, never invent them."""
+        query, db = self._workload()
+        one_hit = BlastEngine(BlastParams()).search(query, db)
+        two_hit = BlastEngine(BlastParams(two_hit_window=40)).search(query, db)
+        one_keys = {(a.q_start, a.q_end, a.s_start) for a in one_hit.alignments}
+        two_keys = {(a.q_start, a.q_end, a.s_start) for a in two_hit.alignments}
+        assert two_keys <= one_keys
+
+    def test_two_hit_reduces_extension_work(self):
+        """On large random flanks (plenty of isolated chance hits) the
+        two-hit filter must strictly cut the extension workload."""
+        rng = np.random.default_rng(7)
+        homolog = random_bases(rng, 400)
+        query = SequenceRecord(
+            seq_id="q",
+            codes=np.concatenate([random_bases(rng, 30_000), homolog]),
+        )
+        db = Database(
+            [SequenceRecord(seq_id="s", codes=np.concatenate([random_bases(rng, 30_000), homolog]))]
+        )
+        one_hit = BlastEngine(BlastParams()).search(query, db)
+        two_hit = BlastEngine(BlastParams(two_hit_window=40)).search(query, db)
+        assert one_hit.counters.ungapped_extensions > 50  # chance hits exist
+        assert (
+            two_hit.counters.ungapped_extensions
+            < one_hit.counters.ungapped_extensions
+        )
+
+
+class TestPresets:
+    def test_blastn_is_default(self):
+        assert BlastParams.blastn() == BlastParams()
+
+    def test_megablast_longer_seeds(self):
+        mb = BlastParams.megablast()
+        assert mb.k == 28
+        assert mb.penalty == -2
+
+    def test_megablast_engine_works(self):
+        rng = np.random.default_rng(6)
+        shared = random_bases(rng, 300)
+        query = SequenceRecord(seq_id="q", codes=np.concatenate([random_bases(rng, 200), shared]))
+        db = Database([SequenceRecord(seq_id="s", codes=shared.copy())])
+        res = BlastEngine(BlastParams.megablast()).search(query, db)
+        assert res.alignments
+        assert res.alignments[0].score >= 290

@@ -1,0 +1,72 @@
+"""Tests for the BLAST+ single-node runner."""
+
+import pytest
+
+from repro.blastplus.runner import BlastPlusRunner
+from repro.cluster.hardware import CacheModel
+from tests.conftest import alignment_keys
+
+
+@pytest.fixture(scope="module")
+def bp_result(small_db, query_with_truth):
+    query, _ = query_with_truth
+    runner = BlastPlusRunner(chunk_size=20_000, chunk_overlap=3000)
+    return runner.run(query, small_db, threads=4)
+
+
+class TestCorrectness:
+    def test_equals_serial_with_generous_overlap(self, bp_result, serial_result):
+        """With overlap exceeding every alignment length, query splitting
+        loses nothing on this workload."""
+        assert alignment_keys(bp_result.alignments) == alignment_keys(
+            serial_result.alignments
+        )
+
+    def test_chunk_count(self, bp_result, query_with_truth):
+        query, _ = query_with_truth
+        # 60 kbp, chunk 20 kbp, stride 17 kbp -> ceil((60-20)/17)+1 = 4
+        assert bp_result.num_chunks == 4
+
+    def test_work_units(self, bp_result):
+        assert len(bp_result.records) == bp_result.num_chunks * 4  # 4 thread slices
+
+    def test_sorted_output(self, bp_result):
+        evs = [a.evalue for a in bp_result.alignments]
+        assert evs == sorted(evs)
+
+
+class TestExecutionModel:
+    def test_chunk_barriers_serialize_phases(self, small_db, query_with_truth):
+        query, _ = query_with_truth
+        runner = BlastPlusRunner(chunk_size=20_000, chunk_overlap=3000)
+        res = runner.run(query, small_db, threads=2)
+        # number of simulated phases == chunks; phase ends are monotone
+        assert len(res.schedule.phase_ends) == res.num_chunks
+        assert res.schedule.phase_ends == sorted(res.schedule.phase_ends)
+
+    def test_single_node_ceiling(self, bp_result):
+        assert bp_result.schedule.cluster.nodes == 1
+
+    def test_small_query_single_chunk(self, small_db):
+        from repro.sequence.records import SequenceRecord
+
+        q = small_db.records[0].slice(0, 2000, seq_id="tiny")
+        res = BlastPlusRunner(chunk_size=50_000, chunk_overlap=1000).run(q, small_db, threads=2)
+        assert res.num_chunks == 1
+
+    def test_cache_model_applies_per_chunk(self, small_db, query_with_truth):
+        """Chunks below the cache threshold stay factor-1 even when the
+        whole query is far above it — BLAST+'s query-splitting rationale."""
+        query, _ = query_with_truth
+        cache = CacheModel(threshold=30_000.0)
+        runner = BlastPlusRunner(chunk_size=20_000, chunk_overlap=3000, cache_model=cache)
+        res = runner.run(query, small_db, threads=2)
+        for rec in res.records:
+            assert rec.sim_seconds == rec.measured_seconds
+
+    def test_validation(self, small_db, query_with_truth):
+        query, _ = query_with_truth
+        with pytest.raises(ValueError):
+            BlastPlusRunner(chunk_size=0)
+        with pytest.raises(ValueError):
+            BlastPlusRunner().run(query, small_db, threads=0)

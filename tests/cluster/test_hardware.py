@@ -1,0 +1,78 @@
+"""Tests for the cache and DP-memory hardware models."""
+
+import pytest
+
+from repro.cluster.hardware import CacheModel, DPMemoryModel, OutOfMemoryError
+
+
+class TestCacheModel:
+    def test_unit_below_threshold(self):
+        m = CacheModel(threshold=1_000_000)
+        assert m.factor(999_999) == 1.0
+        assert m.factor(1_000_000) == 1.0
+
+    def test_polynomial_above_threshold(self):
+        m = CacheModel(threshold=1_000_000, exponent=1.2)
+        assert m.factor(2_000_000) == pytest.approx(2**1.2)
+
+    def test_monotone(self):
+        m = CacheModel()
+        assert m.factor(10_000_000) < m.factor(70_000_000)
+
+    def test_fig3_shape(self):
+        """Flat below 1 Mbp, rapidly worsening beyond — the paper's Fig. 3."""
+        m = CacheModel()
+        assert m.factor(3_000) == 1.0
+        assert m.factor(500_000) == 1.0
+        assert m.factor(10_000_000) > 4
+        assert m.factor(99_000_000) > 15
+
+    def test_calibrated_to_paper_longest_query(self):
+        """cache(71 Mbp) ≈ 16: with 1.6 Mbp fragments (cache ≈ 1.36) this
+        yields the paper's ≈23× Orion win on the 71 Mbp query."""
+        m = CacheModel()
+        assert 10 < m.factor(71_000_000) < 25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheModel(threshold=0)
+        with pytest.raises(ValueError):
+            CacheModel().factor(0)
+
+
+class TestDPMemoryModel:
+    def test_required_bytes(self):
+        m = DPMemoryModel(bytes_per_cell=1.0)
+        assert m.required_bytes(100, 200) == 20_000
+
+    def test_fits_boundary(self):
+        m = DPMemoryModel(node_memory_bytes=1000, bytes_per_cell=1.0)
+        assert m.fits(10, 100)
+        assert not m.fits(10, 101)
+
+    def test_check_raises_with_paper_style_message(self):
+        m = DPMemoryModel()
+        with pytest.raises(OutOfMemoryError, match="Gb of memory for dynamic programming"):
+            m.check(99_000_000, 25_000_000)
+
+    def test_paper_failure_threshold(self):
+        """Defaults: the ceiling sits at ≈96 Mbp for a Drosophila-scale
+        longest scaffold — 71 Mbp queries run, >96 Mbp abort (Section V-C)."""
+        m = DPMemoryModel()
+        longest_scaffold = 25_000_000  # Drosophila chromosome-arm scale
+        ceiling = m.max_query_length(longest_scaffold)
+        assert 90_000_000 < ceiling < 100_000_000
+        assert m.fits(71_000_000, longest_scaffold)
+        assert not m.fits(97_000_000, longest_scaffold)
+
+    def test_max_query_length_consistent(self):
+        m = DPMemoryModel(node_memory_bytes=10_000, bytes_per_cell=1.0)
+        ceiling = m.max_query_length(100)
+        assert m.fits(ceiling, 100)
+        assert not m.fits(ceiling + 1, 100)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DPMemoryModel(node_memory_bytes=0)
+        with pytest.raises(ValueError):
+            DPMemoryModel().required_bytes(0, 10)

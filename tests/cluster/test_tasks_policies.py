@@ -1,0 +1,66 @@
+"""Tests for SimTask conversion and ordering policies."""
+
+import pytest
+
+from repro.cluster.policies import order_tasks
+from repro.cluster.tasks import SimTask, records_to_tasks
+from repro.mapreduce.types import TaskKind, TaskRecord
+
+
+def recs():
+    return [
+        TaskRecord(task_id="m0", kind=TaskKind.MAP, duration=1.0),
+        TaskRecord(task_id="m1", kind=TaskKind.MAP, duration=2.0),
+        TaskRecord(task_id="r0", kind=TaskKind.REDUCE, duration=3.0),
+    ]
+
+
+class TestRecordsToTasks:
+    def test_all_records(self):
+        tasks = records_to_tasks(recs())
+        assert [t.task_id for t in tasks] == ["m0", "m1", "r0"]
+
+    def test_kind_filter(self):
+        tasks = records_to_tasks(recs(), kind=TaskKind.MAP)
+        assert [t.task_id for t in tasks] == ["m0", "m1"]
+
+    def test_scale_hook(self):
+        tasks = records_to_tasks(recs(), scale=lambda r: 2.0 if r.kind is TaskKind.MAP else 1.0)
+        assert [t.duration for t in tasks] == [2.0, 4.0, 3.0]
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            records_to_tasks(recs(), scale=lambda r: 0.0)
+
+    def test_simtask_validation(self):
+        with pytest.raises(ValueError):
+            SimTask(task_id="", duration=1.0)
+        with pytest.raises(ValueError):
+            SimTask(task_id="x", duration=-1.0)
+
+
+class TestOrderTasks:
+    def _tasks(self):
+        return [SimTask(f"t{i}", d) for i, d in enumerate([3.0, 1.0, 2.0])]
+
+    def test_fifo_preserves_order(self):
+        assert [t.task_id for t in order_tasks(self._tasks(), "fifo")] == ["t0", "t1", "t2"]
+
+    def test_lpt_descending(self):
+        assert [t.duration for t in order_tasks(self._tasks(), "lpt")] == [3.0, 2.0, 1.0]
+
+    def test_spt_ascending(self):
+        assert [t.duration for t in order_tasks(self._tasks(), "spt")] == [1.0, 2.0, 3.0]
+
+    def test_random_deterministic_per_seed(self):
+        a = order_tasks(self._tasks(), "random", seed=5)
+        b = order_tasks(self._tasks(), "random", seed=5)
+        assert [t.task_id for t in a] == [t.task_id for t in b]
+
+    def test_random_is_permutation(self):
+        out = order_tasks(self._tasks(), "random", seed=1)
+        assert sorted(t.task_id for t in out) == ["t0", "t1", "t2"]
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            order_tasks(self._tasks(), "nope")

@@ -1,0 +1,50 @@
+"""Tests for cluster specs and execution profiles."""
+
+import pytest
+
+from repro.cluster.topology import ClusterSpec, ExecutionProfile
+
+
+class TestClusterSpec:
+    def test_total_slots(self):
+        assert ClusterSpec(nodes=4, cores_per_node=16).total_slots == 64
+
+    def test_gordon_preset(self):
+        g = ClusterSpec.gordon(64)
+        assert g.total_slots == 1024
+        assert g.cores_per_node == 16
+
+    def test_node_of_slot(self):
+        c = ClusterSpec(nodes=2, cores_per_node=3)
+        assert [c.node_of_slot(s) for s in range(6)] == [0, 0, 0, 1, 1, 1]
+
+    def test_slot_bounds(self):
+        c = ClusterSpec(nodes=2, cores_per_node=2)
+        with pytest.raises(ValueError):
+            c.node_of_slot(4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(nodes=0)
+
+
+class TestExecutionProfile:
+    def test_defaults_zero(self):
+        p = ExecutionProfile()
+        assert p.job_setup_seconds == 0.0
+
+    def test_hadoop_has_constant_overhead(self):
+        """The Fig. 10 crossover depends on this being substantial."""
+        h = ExecutionProfile.hadoop()
+        b = ExecutionProfile.multithread()
+        assert h.job_setup_seconds > 5 * b.job_setup_seconds
+
+    def test_mpi_cheaper_than_hadoop(self):
+        assert (
+            ExecutionProfile.mpi().job_setup_seconds
+            < ExecutionProfile.hadoop().job_setup_seconds
+        )
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionProfile(job_setup_seconds=-1)

@@ -1,0 +1,59 @@
+"""Shared fixtures: small deterministic databases/queries with ground truth.
+
+Sizes are kept small enough that the whole suite runs in well under a
+minute while still exercising fragment boundaries, merges and E-filtering.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blast.engine import BlastEngine
+from repro.sequence.generator import (
+    HomologySpec,
+    make_database,
+    make_query_with_homologies,
+)
+from repro.sequence.mutate import MutationModel
+
+
+@pytest.fixture(scope="session")
+def small_db():
+    """20 sequences, ~100 kbp total — shared read-only database."""
+    return make_database(seed=101, num_sequences=20, mean_length=5000)
+
+
+@pytest.fixture(scope="session")
+def query_with_truth(small_db):
+    """A 60 kbp query with three planted homologies (and the ground truth)."""
+    return make_query_with_homologies(
+        seed=202,
+        length=60_000,
+        database=small_db,
+        homologies=[
+            HomologySpec(length=900, model=MutationModel.close_homolog()),
+            HomologySpec(length=1500, model=MutationModel.close_homolog()),
+            HomologySpec(length=700, model=MutationModel.distant_homolog()),
+        ],
+    )
+
+
+@pytest.fixture(scope="session")
+def engine():
+    """One default-parameter engine (Karlin-Altschul params computed once)."""
+    return BlastEngine()
+
+
+@pytest.fixture(scope="session")
+def serial_result(engine, query_with_truth, small_db):
+    """Serial whole-database search — the oracle for equality tests."""
+    query, _ = query_with_truth
+    return engine.search(query, small_db)
+
+
+def alignment_keys(alignments):
+    """Canonical comparable identity of an alignment list."""
+    return sorted(
+        (a.subject_id, a.strand, a.q_start, a.q_end, a.s_start, a.s_end, a.score)
+        for a in alignments
+    )

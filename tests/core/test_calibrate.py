@@ -1,0 +1,76 @@
+"""Tests for fragment-length calibration (Section III-D / Fig. 11)."""
+
+import pytest
+
+from repro.cluster.topology import ClusterSpec
+from repro.core.calibrate import (
+    calibrate_fragment_length,
+    cached_fragment_length,
+    clear_calibration_cache,
+    default_sweep_lengths,
+)
+from repro.core.orion import OrionSearch
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_calibration_cache()
+    yield
+    clear_calibration_cache()
+
+
+class TestDefaultSweepLengths:
+    def test_geometric_and_bounded(self):
+        lengths = default_sweep_lengths(100_000, overlap=32, count=6)
+        assert lengths == sorted(lengths)
+        assert lengths[0] >= 1000
+        assert lengths[-1] <= 100_000
+        assert all(l > 32 for l in lengths)
+
+    def test_count_validated(self):
+        with pytest.raises(ValueError):
+            default_sweep_lengths(1000, 16, count=1)
+
+
+class TestCalibration:
+    def test_sweep_and_cache(self, small_db, query_with_truth):
+        query, _ = query_with_truth
+        orion = OrionSearch(database=small_db, num_shards=4)
+        cluster = ClusterSpec(nodes=2, cores_per_node=4)
+        calib = calibrate_fragment_length(
+            orion, query, cluster, fragment_lengths=[8000, 20_000, 60_000]
+        )
+        assert len(calib.points) == 3
+        assert calib.best_fragment_length in {8000, 20_000, 60_000}
+        assert all(p.makespan_seconds > 0 for p in calib.points)
+        # memoized for this (database, length-bucket)
+        assert cached_fragment_length(small_db.name, len(query)) == calib.best_fragment_length
+
+    def test_cache_buckets_by_length(self, small_db, query_with_truth):
+        query, _ = query_with_truth
+        orion = OrionSearch(database=small_db, num_shards=4)
+        cluster = ClusterSpec(nodes=1, cores_per_node=4)
+        calibrate_fragment_length(orion, query, cluster, fragment_lengths=[20_000])
+        # same bucket (within 2x): hit
+        assert cached_fragment_length(small_db.name, len(query) + 10) is not None
+        # far smaller query: different bucket -> miss
+        assert cached_fragment_length(small_db.name, 100) is None
+
+    def test_empty_sweep_rejected(self, small_db, query_with_truth):
+        query, _ = query_with_truth
+        orion = OrionSearch(database=small_db, num_shards=4)
+        with pytest.raises(ValueError):
+            calibrate_fragment_length(
+                orion, query, ClusterSpec(nodes=1), fragment_lengths=[]
+            )
+
+    def test_points_record_parallelism_tradeoff(self, small_db, query_with_truth):
+        """Shorter fragments -> more work units (the Fig. 11 x-axis)."""
+        query, _ = query_with_truth
+        orion = OrionSearch(database=small_db, num_shards=4)
+        calib = calibrate_fragment_length(
+            orion, query, ClusterSpec(nodes=1, cores_per_node=4),
+            fragment_lengths=[8000, 30_000], use_cache=False,
+        )
+        units = {p.fragment_length: p.num_work_units for p in calib.points}
+        assert units[8000] > units[30_000]

@@ -1,0 +1,236 @@
+"""Tests for alignment merging: splice, bridge, trim, x-drop splitting."""
+
+import numpy as np
+import pytest
+
+from repro.blast.hsp import OP_DIAG, OP_QGAP, OP_SGAP, Alignment, score_path
+from repro.core.merge import (
+    column_scores,
+    path_positions,
+    split_alignment_at_drops,
+    trim_path_to_peaks,
+    try_merge_pair,
+)
+from repro.sequence.alphabet import encode, random_bases
+
+P = dict(reward=1, penalty=-3, gap_open=5, gap_extend=2)
+
+
+def mk(qs, qe, ss, se, path, subject="s", strand=1, score=10):
+    return Alignment(
+        query_id="q", subject_id=subject, q_start=qs, q_end=qe,
+        s_start=ss, s_end=se, score=score, evalue=1e-5, bits=1.0,
+        strand=strand, path=np.asarray(path, dtype=np.uint8),
+    )
+
+
+def diag(n):
+    return [OP_DIAG] * n
+
+
+class TestPathPositions:
+    def test_diag_only(self):
+        qp, sp = path_positions(np.array(diag(3), dtype=np.uint8), 10, 20)
+        assert qp.tolist() == [10, 11, 12]
+        assert sp.tolist() == [20, 21, 22]
+
+    def test_gaps_shift_one_side(self):
+        path = np.array([OP_DIAG, OP_QGAP, OP_DIAG], dtype=np.uint8)
+        qp, sp = path_positions(path, 0, 0)
+        assert qp.tolist() == [0, 1, 1]
+        assert sp.tolist() == [0, 1, 2]
+
+
+class TestTryMergeSplice:
+    def test_overlapping_with_common_pair(self):
+        # a: q[0,10) vs s[0,10); b: q[5,15) vs s[5,15) — same diagonal
+        a = mk(0, 10, 0, 10, diag(10))
+        b = mk(5, 15, 5, 15, diag(10))
+        m = try_merge_pair(a, b, **P)
+        assert m is not None
+        assert (m.q_start, m.q_end) == (0, 15)
+        assert (m.s_start, m.s_end) == (0, 15)
+        assert m.path.size == 15
+
+    def test_argument_order_irrelevant(self):
+        a = mk(0, 10, 0, 10, diag(10))
+        b = mk(5, 15, 5, 15, diag(10))
+        m1 = try_merge_pair(a, b, **P)
+        m2 = try_merge_pair(b, a, **P)
+        assert (m1.q_start, m1.q_end) == (m2.q_start, m2.q_end)
+
+    def test_different_subject_or_strand_rejected(self):
+        a = mk(0, 10, 0, 10, diag(10))
+        assert try_merge_pair(a, mk(5, 15, 5, 15, diag(10), subject="t"), **P) is None
+        assert try_merge_pair(a, mk(5, 15, 5, 15, diag(10), strand=-1), **P) is None
+
+    def test_contained_rejected(self):
+        a = mk(0, 20, 0, 20, diag(20))
+        b = mk(5, 15, 5, 15, diag(10))
+        assert try_merge_pair(a, b, **P) is None
+
+    def test_overlap_on_different_diagonals_no_common_pair(self):
+        # q-intervals overlap but subject positions disagree; no bridge
+        # context (no sequences passed) -> no merge
+        a = mk(0, 10, 0, 10, diag(10))
+        b = mk(5, 15, 100, 110, diag(10))
+        assert try_merge_pair(a, b) is None
+
+    def test_missing_path_rejected(self):
+        a = mk(0, 10, 0, 10, diag(10))
+        b = Alignment(
+            query_id="q", subject_id="s", q_start=5, q_end=15, s_start=5, s_end=15,
+            score=10, evalue=1e-5, bits=1.0,
+        )
+        assert try_merge_pair(a, b, **P) is None
+
+
+class TestTryMergeBridge:
+    def test_adjacent_alignments_bridged(self):
+        rng = np.random.default_rng(0)
+        seq = random_bases(rng, 40)
+        # two alignments of seq against itself with a 4-base gap between
+        a = mk(0, 15, 0, 15, diag(15))
+        b = mk(19, 35, 19, 35, diag(16))
+        m = try_merge_pair(a, b, q_codes=seq, s_codes=seq, **P)
+        assert m is not None
+        assert (m.q_start, m.q_end) == (0, 35)
+        # bridge over identical sequence is pure diagonal
+        assert m.path.size == 35
+        assert np.all(m.path == OP_DIAG)
+
+    def test_bridge_with_indel(self):
+        rng = np.random.default_rng(1)
+        q = random_bases(rng, 50)
+        s = np.concatenate([q[:25], random_bases(rng, 2), q[25:]])  # 2-base insert
+        a = mk(0, 20, 0, 20, diag(20))
+        b = mk(30, 50, 32, 52, diag(20))
+        m = try_merge_pair(a, b, q_codes=q, s_codes=s, **P)
+        assert m is not None
+        assert m.q_end - m.q_start == 50
+        assert m.s_end - m.s_start == 52
+        n_qgap = int(np.count_nonzero(m.path == OP_QGAP))
+        assert n_qgap == 2
+
+    def test_gap_beyond_max_bridge_rejected(self):
+        rng = np.random.default_rng(2)
+        seq = random_bases(rng, 2000)
+        a = mk(0, 100, 0, 100, diag(100))
+        b = mk(900, 1000, 900, 1000, diag(100))
+        assert try_merge_pair(a, b, q_codes=seq, s_codes=seq, max_bridge=100, **P) is None
+
+    def test_bridge_requires_sequences(self):
+        a = mk(0, 10, 0, 10, diag(10))
+        b = mk(15, 25, 15, 25, diag(10))
+        assert try_merge_pair(a, b, **P) is None
+
+
+class TestTrimPathToPeaks:
+    def test_identity_on_clean_alignment(self):
+        rng = np.random.default_rng(3)
+        seq = random_bases(rng, 30)
+        a = mk(0, 30, 0, 30, diag(30))
+        out = trim_path_to_peaks(a, seq, seq, **P)
+        assert (out.q_start, out.q_end) == (0, 30)
+
+    def test_trailing_mismatches_trimmed(self):
+        rng = np.random.default_rng(4)
+        q = random_bases(rng, 30)
+        s = q.copy()
+        s[25:] = (s[25:] + 1) % 4  # last 5 mismatch
+        a = mk(0, 30, 0, 30, diag(30))
+        out = trim_path_to_peaks(a, q, s, **P)
+        assert out.q_end == 25
+
+    def test_leading_mismatches_trimmed(self):
+        rng = np.random.default_rng(5)
+        q = random_bases(rng, 30)
+        s = q.copy()
+        s[:5] = (s[:5] + 1) % 4
+        a = mk(0, 30, 0, 30, diag(30))
+        out = trim_path_to_peaks(a, q, s, **P)
+        assert out.q_start == 5
+        assert out.q_end == 30
+
+    def test_all_negative_collapses_to_empty(self):
+        q = encode("AAAA")
+        s = encode("CCCC")
+        a = mk(0, 4, 0, 4, diag(4))
+        out = trim_path_to_peaks(a, q, s, **P)
+        assert out.path.size == 0
+        assert out.q_start == out.q_end
+
+    def test_trimmed_score_is_peak(self):
+        rng = np.random.default_rng(6)
+        q = random_bases(rng, 60)
+        s = q.copy()
+        s[50:] = (s[50:] + 1) % 4
+        s[:3] = (s[:3] + 1) % 4
+        a = mk(0, 60, 0, 60, diag(60))
+        out = trim_path_to_peaks(a, q, s, **P)
+        rescored = score_path(out.path, q, s, out.q_start, out.s_start, **P)
+        # peak = 47 matches
+        assert rescored == 47
+
+
+class TestSplitAtDrops:
+    def test_no_split_within_tolerance(self):
+        rng = np.random.default_rng(7)
+        q = random_bases(rng, 40)
+        s = q.copy()
+        s[20:23] = (s[20:23] + 1) % 4  # dip of 9+3 < 15... 3 mismatches = -9-3? -12 total swing
+        a = mk(0, 40, 0, 40, diag(40))
+        out = split_alignment_at_drops(a, q, s, x_drop=15, **P)
+        assert len(out) == 1
+
+    def test_split_at_deep_dip(self):
+        rng = np.random.default_rng(8)
+        q = random_bases(rng, 60)
+        s = q.copy()
+        s[25:35] = (s[25:35] + 1) % 4  # 10 mismatches: dip of 30 > 15
+        a = mk(0, 60, 0, 60, diag(60))
+        out = split_alignment_at_drops(a, q, s, x_drop=15, **P)
+        assert len(out) == 2
+        assert out[0].q_end == 25  # ends at the peak before the dip
+        assert out[1].q_start > 25  # dip columns belong to neither piece
+        assert out[1].q_end == 60
+
+    def test_pieces_ordered_disjoint_and_cover_homology(self):
+        rng = np.random.default_rng(9)
+        q = random_bases(rng, 80)
+        s = q.copy()
+        s[30:40] = (s[30:40] + 1) % 4
+        s[60:70] = (s[60:70] + 1) % 4
+        a = mk(0, 80, 0, 80, diag(80))
+        out = split_alignment_at_drops(a, q, s, x_drop=15, **P)
+        assert len(out) == 3
+        for prev, nxt in zip(out, out[1:]):
+            assert prev.q_end <= nxt.q_start  # ordered, disjoint
+        # each homologous stretch lands inside exactly one piece
+        for lo, hi in [(0, 30), (40, 60), (70, 80)]:
+            holders = [p for p in out if p.q_start <= lo and hi <= p.q_end]
+            assert len(holders) == 1
+
+    def test_all_negative_path_single_piece(self):
+        q = encode("A" * 10)
+        s = encode("C" * 10)
+        a = mk(0, 10, 0, 10, diag(10))
+        out = split_alignment_at_drops(a, q, s, x_drop=3, **P)
+        assert len(out) == 1  # caller's trim collapses it
+
+
+class TestColumnScores:
+    def test_affine_open_charged_at_run_heads(self):
+        q = encode("AACC")
+        s = encode("AAGCC")
+        path = np.array([OP_DIAG, OP_DIAG, OP_QGAP, OP_DIAG, OP_DIAG], dtype=np.uint8)
+        scores = column_scores(path, q, s, 0, 0, **P)
+        assert scores.tolist() == [1, 1, -7, 1, 1]
+        assert scores.sum() == score_path(path, q, s, 0, 0, **P)
+
+    def test_gap_run_single_open(self):
+        q = encode("AC")
+        s = encode("ATTC")
+        path = np.array([OP_DIAG, OP_QGAP, OP_QGAP, OP_DIAG], dtype=np.uint8)
+        scores = column_scores(path, q, s, 0, 0, **P)
+        assert scores.tolist() == [1, -7, -2, 1]

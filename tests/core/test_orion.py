@@ -1,0 +1,138 @@
+"""Tests for the top-level OrionSearch API."""
+
+import pytest
+
+from repro.cluster.hardware import CacheModel
+from repro.cluster.topology import ClusterSpec
+from repro.core.orion import OrionSearch
+from tests.conftest import alignment_keys
+
+
+@pytest.fixture(scope="module")
+def orion(small_db):
+    return OrionSearch(database=small_db, num_shards=4, fragment_length=9000)
+
+
+@pytest.fixture(scope="module")
+def orion_result(orion, query_with_truth):
+    query, _ = query_with_truth
+    return orion.run(query, cluster=ClusterSpec(nodes=2, cores_per_node=4))
+
+
+class TestAccuracy:
+    def test_equals_serial(self, orion_result, serial_result):
+        """The paper's 100%-accuracy claim on this workload."""
+        assert alignment_keys(orion_result.alignments) == alignment_keys(
+            serial_result.alignments
+        )
+
+    def test_evalues_match_serial(self, orion_result, serial_result):
+        for o, s in zip(orion_result.alignments, serial_result.alignments):
+            assert o.evalue == pytest.approx(s.evalue)
+
+    def test_sorted_output(self, orion_result):
+        evs = [a.evalue for a in orion_result.alignments]
+        assert evs == sorted(evs)
+
+    def test_query_id_restored(self, orion_result, query_with_truth):
+        query, _ = query_with_truth
+        assert all(a.query_id == query.seq_id for a in orion_result.alignments)
+
+    def test_speculation_off_is_lossy_or_equal(self, small_db, query_with_truth, serial_result):
+        """Ablation: without speculative extension Orion may miss boundary
+        alignments, never gain them."""
+        query, _ = query_with_truth
+        orion = OrionSearch(
+            database=small_db, num_shards=4, fragment_length=9000, speculative=False
+        )
+        res = orion.run(query)
+        assert set(alignment_keys(res.alignments)) <= set(
+            alignment_keys(serial_result.alignments)
+        )
+
+
+class TestWorkUnits:
+    def test_unit_count(self, orion_result):
+        assert orion_result.num_work_units == orion_result.num_fragments * 4
+
+    def test_fragment_metadata(self, orion_result, query_with_truth):
+        query, _ = query_with_truth
+        # 60 kbp at F=9000, L=overlap: ceil((60000-9000)/(9000-L)) + 1 = 7
+        assert orion_result.num_fragments == 7
+        assert orion_result.overlap >= 11  # at least k
+
+    def test_records_have_measured_durations(self, orion_result):
+        assert all(r.measured_seconds > 0 for r in orion_result.map_records)
+
+    def test_task_durations_cover_phases(self, orion_result):
+        durations = orion_result.task_durations()
+        expected = (
+            orion_result.num_work_units
+            + len(orion_result.reduce_seconds)
+            + len(orion_result.sort_seconds)
+        )
+        assert durations.shape[0] == expected
+
+
+class TestSimulation:
+    def test_schedule_attached(self, orion_result):
+        assert orion_result.schedule is not None
+        assert orion_result.makespan_seconds > 0
+
+    def test_more_cores_never_slower(self, orion, orion_result):
+        small = orion.simulate(orion_result, ClusterSpec(nodes=1, cores_per_node=4))
+        big = orion.simulate(orion_result, ClusterSpec(nodes=8, cores_per_node=4))
+        assert big.makespan <= small.makespan + 1e-9
+
+    def test_hadoop_setup_in_makespan(self, orion, orion_result):
+        sched = orion.simulate(orion_result, ClusterSpec(nodes=64, cores_per_node=16))
+        # with 1024 slots the job is dominated by the Hadoop constants
+        assert sched.makespan >= orion.profile.job_setup_seconds
+
+    def test_cache_model_spares_small_fragments(self, small_db, query_with_truth):
+        query, _ = query_with_truth
+        cached = OrionSearch(
+            database=small_db, num_shards=4, fragment_length=9000,
+            cache_model=CacheModel(threshold=20_000.0),
+        )
+        res = cached.run(query)
+        for r in res.map_records:
+            assert r.sim_seconds == r.measured_seconds  # fragments below threshold
+
+
+class TestFragmentLengthResolution:
+    def test_explicit_override_wins(self, orion, query_with_truth):
+        query, _ = query_with_truth
+        res = orion.run(query, fragment_length=30_000)
+        assert res.fragment_length == 30_000
+
+    def test_heuristic_when_unset(self, small_db, query_with_truth):
+        query, _ = query_with_truth
+        orion = OrionSearch(database=small_db, num_shards=4)
+        res = orion.run(query)
+        assert res.fragment_length > res.overlap
+
+    def test_small_query_single_fragment(self, orion, small_db):
+        tiny = small_db.records[0].slice(0, 2000, seq_id="tiny")
+        res = orion.run(tiny)
+        assert res.num_fragments == 1
+
+
+class TestRunMany:
+    def test_query_set(self, orion, small_db, query_with_truth):
+        query, _ = query_with_truth
+        second = small_db.records[1].slice(0, 3000, seq_id="q2")
+        results = orion.run_many([query, second], cluster=ClusterSpec(nodes=2, cores_per_node=2))
+        assert set(results) == {query.seq_id, "q2"}
+        combined = orion.simulate_query_set(list(results.values()), ClusterSpec(nodes=2, cores_per_node=2))
+        assert combined.makespan > 0
+
+
+class TestValidation:
+    def test_bad_args(self, small_db):
+        with pytest.raises(ValueError):
+            OrionSearch(database=small_db, num_shards=0)
+        with pytest.raises(ValueError):
+            OrionSearch(database=small_db, strands="minus")
+        with pytest.raises(ValueError):
+            OrionSearch(database=small_db, aggregation_mode="magic")

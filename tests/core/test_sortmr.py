@@ -1,0 +1,73 @@
+"""Tests for the parallel sample-sort of results."""
+
+import numpy as np
+import pytest
+
+from repro.blast.hsp import Alignment
+from repro.core.sortmr import choose_splitters, parallel_sort_alignments
+
+
+def _aln(evalue, score, subject="s"):
+    return Alignment(
+        query_id="q", subject_id=subject, q_start=0, q_end=10, s_start=0, s_end=10,
+        score=score, evalue=evalue, bits=float(score),
+    )
+
+
+def random_alignments(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        _aln(float(rng.uniform(1e-30, 10)), int(rng.integers(10, 500)), f"s{int(rng.integers(5))}")
+        for _ in range(n)
+    ]
+
+
+class TestParallelSort:
+    @pytest.mark.parametrize("num_tasks", [1, 2, 4, 7])
+    def test_equals_global_sort(self, num_tasks):
+        alns = random_alignments(100)
+        out, durations = parallel_sort_alignments(alns, num_tasks=num_tasks)
+        expected = sorted(alns, key=Alignment.sort_key)
+        assert [a.sort_key() for a in out] == [a.sort_key() for a in expected]
+        assert len(durations) == num_tasks
+
+    def test_empty(self):
+        out, durations = parallel_sort_alignments([])
+        assert out == [] and durations == []
+
+    def test_fewer_items_than_tasks(self):
+        alns = random_alignments(3)
+        out, durations = parallel_sort_alignments(alns, num_tasks=10)
+        assert len(out) == 3
+        assert len(durations) <= 3
+
+    def test_duplicate_evalues_stable(self):
+        alns = [_aln(1e-5, 50, "a"), _aln(1e-5, 50, "b"), _aln(1e-5, 50, "a")]
+        out, _ = parallel_sort_alignments(alns, num_tasks=2)
+        assert len(out) == 3
+        keys = [a.sort_key() for a in out]
+        assert keys == sorted(keys)
+
+    def test_deterministic(self):
+        alns = random_alignments(50, seed=3)
+        a, _ = parallel_sort_alignments(alns, num_tasks=3)
+        b, _ = parallel_sort_alignments(alns, num_tasks=3)
+        assert [x.sort_key() for x in a] == [x.sort_key() for x in b]
+
+
+class TestChooseSplitters:
+    def test_count(self):
+        keys = [(float(i), 0) for i in range(100)]
+        sp = choose_splitters(keys, 4)
+        assert len(sp) == 3
+        assert sp == sorted(sp)
+
+    def test_single_partition_no_splitters(self):
+        assert choose_splitters([(1.0,)], 1) == []
+
+    def test_empty_keys(self):
+        assert choose_splitters([], 4) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            choose_splitters([(1.0,)], 0)

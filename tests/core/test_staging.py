@@ -1,0 +1,66 @@
+"""Tests for the block-store-staged Orion pipeline."""
+
+import pytest
+
+from repro.blast.formatter import parse_tabular
+from repro.core.orion import OrionSearch
+from repro.core.staging import run_staged
+from repro.mapreduce.storage import BlockStore
+from tests.conftest import alignment_keys
+
+
+@pytest.fixture(scope="module")
+def staged(small_db, query_with_truth):
+    query, _ = query_with_truth
+    orion = OrionSearch(database=small_db, num_shards=4, fragment_length=12_000)
+    store = BlockStore(num_nodes=4, block_size=64 * 1024)
+    return run_staged(orion, query, store), orion, query
+
+
+class TestStagedRun:
+    def test_all_stages_present(self, staged):
+        run, _, _ = staged
+        assert set(run.stages) == {"shards", "fragments", "map-output", "results"}
+
+    def test_shards_cover_database(self, staged, small_db):
+        run, _, _ = staged
+        assert run.stages["shards"].files == 4
+        from repro.sequence.fasta import read_fasta_str
+
+        ids = []
+        for path in run.store.listdir("shards"):
+            ids.extend(r.seq_id for r in read_fasta_str(run.store.read_text(path)))
+        assert sorted(ids) == sorted(r.seq_id for r in small_db)
+
+    def test_fragments_cover_query(self, staged, query_with_truth):
+        run, _, query = staged
+        from repro.sequence.fasta import read_fasta_str
+
+        total = 0
+        for path in run.store.listdir("fragments"):
+            recs = read_fasta_str(run.store.read_text(path))
+            total += sum(len(r) for r in recs)
+        assert total >= len(query)  # overlaps make it strictly larger
+
+    def test_map_output_per_work_unit(self, staged):
+        run, _, _ = staged
+        assert run.stages["map-output"].files == run.result.num_work_units
+
+    def test_results_parse_back(self, staged, serial_result):
+        run, _, _ = staged
+        rows = parse_tabular(run.store.read_text("results/part-00000.tsv"))
+        assert len(rows) == len(run.result.alignments)
+        assert len(rows) == len(serial_result.alignments)
+
+    def test_result_equals_serial(self, staged, serial_result):
+        run, _, _ = staged
+        assert alignment_keys(run.result.alignments) == alignment_keys(
+            serial_result.alignments
+        )
+
+    def test_footprint_accounting(self, staged):
+        run, _, _ = staged
+        assert run.total_bytes() == run.store.total_bytes
+        assert run.stages["shards"].bytes > run.stages["results"].bytes
+        rows = run.report_rows()
+        assert len(rows) == 4

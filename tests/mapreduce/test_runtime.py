@@ -1,0 +1,92 @@
+"""Tests for executors: correctness, determinism, task records."""
+
+import pytest
+
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.runtime import SerialExecutor, ThreadedExecutor
+from repro.mapreduce.types import InputSplit, TaskKind
+
+
+def make_job(n_red=2):
+    def mapper(split):
+        for x in split.payload:
+            yield x % 5, x
+
+    def reducer(key, values):
+        yield key, sum(values)
+
+    return MapReduceJob(mapper=mapper, reducer=reducer, num_reducers=n_red, name="t")
+
+
+def make_splits(n=6, width=10):
+    return [
+        InputSplit(index=i, payload=list(range(i * width, (i + 1) * width)))
+        for i in range(n)
+    ]
+
+
+class TestSerialExecutor:
+    def test_outputs_correct(self):
+        result = SerialExecutor().run(make_job(), make_splits())
+        totals = dict(result.flat_outputs())
+        expected = {}
+        for x in range(60):
+            expected[x % 5] = expected.get(x % 5, 0) + x
+        assert totals == expected
+
+    def test_task_records(self):
+        result = SerialExecutor().run(make_job(3), make_splits(4))
+        assert len(result.map_records()) == 4
+        assert len(result.reduce_records()) == 3
+        assert all(r.duration >= 0 for r in result.records)
+        assert result.shuffle_keys == 5
+
+    def test_task_ids_unique(self):
+        result = SerialExecutor().run(make_job(), make_splits())
+        ids = [r.task_id for r in result.records]
+        assert len(set(ids)) == len(ids)
+
+    def test_empty_splits(self):
+        result = SerialExecutor().run(make_job(), [])
+        assert result.flat_outputs() == []
+        assert len(result.reduce_records()) == 2  # reducers still run (empty)
+
+
+class TestThreadedExecutor:
+    def test_matches_serial(self):
+        job = make_job(3)
+        splits = make_splits(8)
+        serial = SerialExecutor().run(job, splits)
+        threaded = ThreadedExecutor(max_workers=4).run(job, splits)
+        assert serial.outputs == threaded.outputs
+        assert serial.shuffle_keys == threaded.shuffle_keys
+
+    def test_worker_count_validated(self):
+        with pytest.raises(ValueError):
+            ThreadedExecutor(max_workers=0)
+
+    def test_record_counts(self):
+        result = ThreadedExecutor(2).run(make_job(2), make_splits(5))
+        assert len(result.map_records()) == 5
+        assert len(result.reduce_records()) == 2
+
+
+class TestTaskRecordScaling:
+    def test_scaled(self):
+        from repro.mapreduce.types import TaskRecord
+
+        rec = TaskRecord(task_id="x", kind=TaskKind.MAP, duration=2.0)
+        assert rec.scaled(3.0).duration == 6.0
+
+    def test_scale_positive(self):
+        from repro.mapreduce.types import TaskRecord
+
+        rec = TaskRecord(task_id="x", kind=TaskKind.MAP, duration=2.0)
+        with pytest.raises(ValueError):
+            rec.scaled(0.0)
+
+    def test_negative_duration_rejected(self):
+        from repro.mapreduce.types import TaskRecord
+
+        with pytest.raises(ValueError):
+            TaskRecord(task_id="x", kind=TaskKind.MAP, duration=-1.0)

@@ -1,0 +1,92 @@
+"""Tests for the HDFS-like block store."""
+
+import pytest
+
+from repro.mapreduce.storage import BlockStore
+
+
+class TestBlockStore:
+    def test_write_read_round_trip(self):
+        store = BlockStore()
+        store.write_text("dir/file.txt", "hello world")
+        assert store.read_text("dir/file.txt") == "hello world"
+
+    def test_bytes_round_trip(self):
+        store = BlockStore()
+        store.write_bytes("b.bin", b"\x00\x01\x02")
+        assert store.read_bytes("b.bin") == b"\x00\x01\x02"
+
+    def test_block_count(self):
+        store = BlockStore(block_size=10)
+        meta = store.write_bytes("x", b"a" * 25)
+        assert meta.num_blocks == 3
+        assert meta.size == 25
+
+    def test_empty_file_one_block(self):
+        store = BlockStore(block_size=10)
+        assert store.write_bytes("e", b"").num_blocks == 1
+
+    def test_replication_capped_at_nodes(self):
+        store = BlockStore(num_nodes=2, replication=3)
+        meta = store.write_bytes("x", b"data")
+        assert all(len(nodes) == 2 for nodes in meta.block_locations)
+
+    def test_block_placement_round_robin(self):
+        store = BlockStore(num_nodes=4, replication=1, block_size=1)
+        meta = store.write_bytes("x", b"abcd")
+        firsts = [nodes[0] for nodes in meta.block_locations]
+        assert firsts == [0, 1, 2, 3]
+
+    def test_missing_file(self):
+        store = BlockStore()
+        with pytest.raises(FileNotFoundError):
+            store.read_bytes("nope")
+        with pytest.raises(FileNotFoundError):
+            store.stat("nope")
+
+    def test_delete(self):
+        store = BlockStore()
+        store.write_text("x", "y")
+        store.delete("x")
+        assert not store.exists("x")
+        with pytest.raises(FileNotFoundError):
+            store.delete("x")
+
+    def test_listdir(self):
+        store = BlockStore()
+        store.write_text("shards/000", "a")
+        store.write_text("shards/001", "b")
+        store.write_text("other/z", "c")
+        assert store.listdir("shards") == ["shards/000", "shards/001"]
+
+    def test_overwrite_replaces(self):
+        store = BlockStore()
+        store.write_text("x", "old")
+        store.write_text("x", "new")
+        assert store.read_text("x") == "new"
+
+    def test_totals(self):
+        store = BlockStore(block_size=4)
+        store.write_bytes("a", b"12345678")
+        store.write_bytes("b", b"12")
+        assert store.total_bytes == 10
+        assert store.total_blocks == 3
+
+    def test_invalid_paths(self):
+        store = BlockStore()
+        with pytest.raises(ValueError):
+            store.write_text("", "x")
+        with pytest.raises(ValueError):
+            store.write_text("dir/", "x")
+
+    def test_locality_nodes(self):
+        store = BlockStore(num_nodes=3, replication=2)
+        store.write_bytes("x", b"abc")
+        nodes = store.locality_nodes("x")
+        assert len(nodes) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockStore(num_nodes=0)
+        with pytest.raises(ValueError):
+            BlockStore(block_size=0)

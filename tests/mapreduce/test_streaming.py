@@ -1,0 +1,54 @@
+"""Tests for Hadoop-streaming emulation."""
+
+import pytest
+
+from repro.mapreduce.streaming import run_streaming_job
+
+
+def upper_mapper(line):
+    yield f"{line.split(',')[0]}\t{line.split(',')[1].upper()}"
+
+
+def join_reducer(key, values):
+    yield f"{key}:{'|'.join(values)}"
+
+
+class TestRunStreamingJob:
+    def test_basic(self):
+        lines = ["a,x", "b,y", "a,z"]
+        out, result = run_streaming_job(lines, upper_mapper, join_reducer)
+        assert sorted(out) == ["a:X|Z", "b:Y"]
+        assert len(result.map_records()) == 3
+
+    def test_lines_per_split(self):
+        lines = ["a,x", "b,y", "a,z", "c,w"]
+        _, result = run_streaming_job(
+            lines, upper_mapper, join_reducer, lines_per_split=2
+        )
+        assert len(result.map_records()) == 2
+
+    def test_keys_without_tab(self):
+        def mapper(line):
+            yield line  # whole line is the key, empty value
+
+        def reducer(key, values):
+            yield f"{key}={len(values)}"
+
+        out, _ = run_streaming_job(["k", "k", "j"], mapper, reducer)
+        assert sorted(out) == ["j=1", "k=2"]
+
+    def test_blank_lines_skipped(self):
+        out, _ = run_streaming_job(["", "a,x", "  "], upper_mapper, join_reducer)
+        assert out == ["a:X"]
+
+    def test_multiple_reducers_cover_all_keys(self):
+        lines = [f"k{i},v" for i in range(20)]
+        out, result = run_streaming_job(
+            lines, upper_mapper, join_reducer, num_reducers=4
+        )
+        assert len(out) == 20
+        assert len(result.reduce_records()) == 4
+
+    def test_bad_lines_per_split(self):
+        with pytest.raises(ValueError):
+            run_streaming_job(["x"], upper_mapper, join_reducer, lines_per_split=0)

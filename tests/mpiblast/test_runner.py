@@ -1,0 +1,93 @@
+"""Tests for the mpiBLAST runner."""
+
+import pytest
+
+from repro.cluster.hardware import CacheModel, DPMemoryModel, OutOfMemoryError
+from repro.cluster.topology import ClusterSpec
+from repro.mpiblast.runner import MpiBlastRunner
+from tests.conftest import alignment_keys
+
+
+@pytest.fixture(scope="module")
+def mpi_result(small_db, query_with_truth):
+    query, _ = query_with_truth
+    runner = MpiBlastRunner()
+    return runner.run([query], small_db, num_shards=4, cluster=ClusterSpec(nodes=2, cores_per_node=4))
+
+
+class TestCorrectness:
+    def test_equals_serial(self, mpi_result, serial_result, query_with_truth):
+        """Database sharding is lossless: mpiBLAST == serial BLAST."""
+        query, _ = query_with_truth
+        assert alignment_keys(mpi_result.alignments[query.seq_id]) == alignment_keys(
+            serial_result.alignments
+        )
+
+    def test_evalues_match_serial(self, mpi_result, serial_result, query_with_truth):
+        query, _ = query_with_truth
+        mpi_sorted = sorted(mpi_result.alignments[query.seq_id], key=lambda a: a.sort_key())
+        for m, s in zip(mpi_sorted, serial_result.alignments):
+            assert m.evalue == pytest.approx(s.evalue)
+
+    def test_work_unit_count(self, mpi_result):
+        assert len(mpi_result.records) == 4  # 1 query x 4 shards
+
+    def test_makespan_positive(self, mpi_result):
+        assert mpi_result.makespan_seconds > 0
+        assert mpi_result.worker_busy_seconds.sum() > 0
+
+
+class TestMemoryModel:
+    def test_long_query_rejected(self, small_db, query_with_truth):
+        query, _ = query_with_truth
+        longest = int(small_db.lengths().max())
+        model = DPMemoryModel(node_memory_bytes=1, bytes_per_cell=1.0)
+        runner = MpiBlastRunner(memory_model=model)
+        with pytest.raises(OutOfMemoryError, match="dynamic programming"):
+            runner.run([query], small_db, num_shards=2, cluster=ClusterSpec(nodes=1))
+
+    def test_enforcement_can_be_disabled(self, small_db, query_with_truth):
+        query, _ = query_with_truth
+        model = DPMemoryModel(node_memory_bytes=1, bytes_per_cell=1.0)
+        runner = MpiBlastRunner(memory_model=model)
+        res = runner.run(
+            [query], small_db, num_shards=2, cluster=ClusterSpec(nodes=1),
+            enforce_memory=False,
+        )
+        assert len(res.records) == 2
+
+    def test_unit_scale_converts_to_paper_units(self, small_db, query_with_truth):
+        """With unit_scale, a small synthetic query models a paper-size one."""
+        query, _ = query_with_truth  # 60 kbp, modelling 60 Mbp at scale 1000
+        longest = int(small_db.lengths().max())
+        model = DPMemoryModel(node_memory_bytes=64 * 1024**3, bytes_per_cell=0.25)
+        ok = MpiBlastRunner(memory_model=model, unit_scale=1.0)
+        ok.check_memory(query, small_db)  # raw size: fine
+        scaled = MpiBlastRunner(memory_model=model, unit_scale=5000.0)
+        with pytest.raises(OutOfMemoryError):
+            scaled.check_memory(query, small_db)
+
+
+class TestCacheModel:
+    def test_cache_factor_inflates_sim_time_only(self, small_db, query_with_truth):
+        query, _ = query_with_truth
+        cache = CacheModel(threshold=1000.0, exponent=1.0)  # query len 60k >> 1k
+        runner = MpiBlastRunner(cache_model=cache)
+        res = runner.run([query], small_db, num_shards=2, cluster=ClusterSpec(nodes=1))
+        for rec in res.records:
+            assert rec.sim_seconds == pytest.approx(rec.measured_seconds * 60.0, rel=0.01)
+
+    def test_no_cache_model_identity(self, mpi_result):
+        for rec in mpi_result.records:
+            assert rec.sim_seconds == rec.measured_seconds
+
+
+class TestValidation:
+    def test_empty_queries_rejected(self, small_db):
+        with pytest.raises(ValueError):
+            MpiBlastRunner().run([], small_db, num_shards=2, cluster=ClusterSpec(nodes=1))
+
+    def test_duplicate_query_ids_rejected(self, small_db, query_with_truth):
+        query, _ = query_with_truth
+        with pytest.raises(ValueError, match="duplicate"):
+            MpiBlastRunner().run([query, query], small_db, num_shards=2, cluster=ClusterSpec(nodes=1))

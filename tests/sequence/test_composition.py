@@ -1,0 +1,62 @@
+"""Tests for composition statistics."""
+
+import numpy as np
+import pytest
+
+from repro.sequence.alphabet import encode
+from repro.sequence.composition import (
+    base_frequencies,
+    gc_content,
+    kmer_spectrum,
+    shannon_entropy,
+)
+
+
+class TestBaseFrequencies:
+    def test_uniform(self):
+        freqs = base_frequencies(encode("ACGT"))
+        assert np.allclose(freqs, 0.25)
+
+    def test_skewed(self):
+        freqs = base_frequencies(encode("AAAC"))
+        assert freqs[0] == 0.75
+
+    def test_ignores_n(self):
+        freqs = base_frequencies(encode("AANN"))
+        assert freqs[0] == 1.0
+
+    def test_all_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            base_frequencies(encode("NNN"))
+
+
+class TestGcContent:
+    def test_half(self):
+        assert gc_content(encode("ACGT")) == 0.5
+
+    def test_extremes(self):
+        assert gc_content(encode("GGCC")) == 1.0
+        assert gc_content(encode("AATT")) == 0.0
+
+
+class TestShannonEntropy:
+    def test_uniform_is_two_bits(self):
+        assert shannon_entropy(encode("ACGT")) == pytest.approx(2.0)
+
+    def test_single_base_zero(self):
+        assert shannon_entropy(encode("AAAA")) == 0.0
+
+
+class TestKmerSpectrum:
+    def test_counts(self):
+        spec = kmer_spectrum(encode("AAAA"), 2)
+        assert spec == {0: 3}  # "AA" packs to 0
+
+    def test_distinct_kmers(self):
+        spec = kmer_spectrum(encode("ACGT"), 2)
+        assert len(spec) == 3
+        assert sum(spec.values()) == 3
+
+    def test_invalid_windows_skipped(self):
+        spec = kmer_spectrum(encode("AANAA"), 2)
+        assert sum(spec.values()) == 2  # only the two flanking AA windows

@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def db_file(tmp_path):
+    path = tmp_path / "db.fa"
+    assert main(["make-db", "--seed", "3", "--sequences", "10",
+                 "--mean-length", "3000", "--out", str(path)]) == 0
+    return path
+
+
+@pytest.fixture()
+def query_file(tmp_path, db_file):
+    path = tmp_path / "q.fa"
+    assert main([
+        "make-query", "--db", str(db_file), "--seed", "4", "--length", "20000",
+        "--homologies", "2", "--homology-length", "500", "--out", str(path),
+    ]) == 0
+    return path
+
+
+class TestMakeCommands:
+    def test_make_db_writes_fasta(self, db_file, capsys):
+        from repro.sequence.fasta import read_fasta
+
+        records = read_fasta(db_file)
+        assert len(records) == 10
+
+    def test_make_query_reports_ground_truth(self, tmp_path, db_file, capsys):
+        out = tmp_path / "q2.fa"
+        main(["make-query", "--db", str(db_file), "--length", "15000",
+              "--homologies", "1", "--homology-length", "400", "--out", str(out)])
+        captured = capsys.readouterr().out
+        assert "planted" in captured
+        assert out.exists()
+
+
+class TestSearch:
+    def test_serial_tabular(self, db_file, query_file, capsys):
+        assert main(["search", "--db", str(db_file), "--query", str(query_file),
+                     "--mode", "serial"]) == 0
+        out = capsys.readouterr().out
+        rows = [ln for ln in out.splitlines() if ln.strip()]
+        assert rows, "planted homologies must produce alignments"
+        assert all(len(r.split("\t")) == 12 for r in rows)
+
+    def test_orion_matches_serial(self, db_file, query_file, capsys):
+        main(["search", "--db", str(db_file), "--query", str(query_file),
+              "--mode", "serial"])
+        serial_out = set(capsys.readouterr().out.splitlines())
+        main(["search", "--db", str(db_file), "--query", str(query_file),
+              "--mode", "orion", "--fragment-length", "6000", "--shards", "4"])
+        orion_out = set(capsys.readouterr().out.splitlines())
+        assert serial_out == orion_out
+
+    def test_mpiblast_mode(self, db_file, query_file, capsys):
+        assert main(["search", "--db", str(db_file), "--query", str(query_file),
+                     "--mode", "mpiblast", "--shards", "4"]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_pairwise_output(self, db_file, query_file, capsys):
+        main(["search", "--db", str(db_file), "--query", str(query_file),
+              "--mode", "serial", "--outfmt", "pairwise", "--max-alignments", "1"])
+        out = capsys.readouterr().out
+        assert "Query" in out and "Sbjct" in out and "Score =" in out
+
+    def test_flags_accepted(self, db_file, query_file, capsys):
+        assert main(["search", "--db", str(db_file), "--query", str(query_file),
+                     "--mode", "serial", "--dust", "--two-hit",
+                     "--evalue", "1e-5", "--task", "megablast"]) == 0
+
+    def test_empty_query_errors(self, tmp_path, db_file, capsys):
+        empty = tmp_path / "empty.fa"
+        empty.write_text("")
+        assert main(["search", "--db", str(db_file), "--query", str(empty)]) == 2
+
+
+class TestOverlap:
+    def test_prints_equation_one(self, capsys):
+        assert main(["overlap", "--query-length", "1000000",
+                     "--db-length", "122653977", "--db-sequences", "1170"]) == 0
+        out = capsys.readouterr().out
+        assert "lambda=1.3741" in out
+        assert "K=0.7106" in out
+        assert "overlap L=" in out
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])

@@ -1,0 +1,60 @@
+"""Tests for ASCII table/series rendering."""
+
+import pytest
+
+from repro.util.textio import format_cell, render_series, render_table
+
+
+class TestFormatCell:
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_float_sig_digits(self):
+        assert format_cell(12.3456) == "12.35"
+
+    def test_float_scientific_for_extremes(self):
+        assert "e" in format_cell(1.5e-7)
+        assert "e" in format_cell(1.5e7)
+
+    def test_zero(self):
+        assert format_cell(0.0) == "0"
+
+    def test_str_passthrough(self):
+        assert format_cell("orion") == "orion"
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        out = render_table(["name", "t"], [["orion", 1.5], ["mpiblast", 20.0]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert lines[2].startswith("orion")
+
+    def test_title(self):
+        out = render_table(["a"], [[1]], title="Table III")
+        assert out.splitlines()[0] == "Table III"
+
+    def test_column_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="row 0"):
+            render_table(["a", "b"], [[1]])
+
+    def test_wide_cells_expand_columns(self):
+        out = render_table(["x"], [["very-long-cell-content"]])
+        header, rule, row = out.splitlines()
+        assert len(rule) == len("very-long-cell-content")
+
+
+class TestRenderSeries:
+    def test_shapes(self):
+        out = render_series(
+            "cores", ["orion", "mpiblast"], [64, 128], [[1.0, 2.0], [3.0, 4.0]]
+        )
+        lines = out.splitlines()
+        assert lines[0].split()[0] == "cores"
+        assert len(lines) == 4
+
+    def test_ragged_series_rejected(self):
+        with pytest.raises(ValueError):
+            render_series("x", ["y"], [1, 2], [[1.0]])
