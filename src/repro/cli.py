@@ -28,6 +28,7 @@ from repro.blast.pairwise import format_report
 from repro.blast.params import BlastParams
 from repro.core.orion import OrionSearch
 from repro.core.overlap import overlap_length
+from repro.mapreduce.runtime import EXECUTOR_KINDS
 from repro.mpiblast.runner import MpiBlastRunner
 from repro.sequence.fasta import read_fasta, write_fasta
 from repro.sequence.generator import (
@@ -98,6 +99,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
                 num_shards=args.shards,
                 fragment_length=args.fragment_length,
                 strands=args.strands,
+                executor=args.executor,
+                num_workers=args.workers,
             )
             alignments = orion.run(query).alignments
         else:  # mpiblast
@@ -204,6 +207,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shards", type=int, default=8)
     p.add_argument("--fragment-length", type=int, default=None)
     p.add_argument("--strands", choices=("plus", "both"), default="plus")
+    p.add_argument(
+        "--executor",
+        choices=EXECUTOR_KINDS,
+        default="serial",
+        help="MapReduce backend for orion mode (serial keeps simulator-safe "
+        "timings; processes uses real multi-core parallelism)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for --executor threads/processes (default: "
+        "4 threads, or one process per core)",
+    )
     p.add_argument("--outfmt", choices=("tabular", "pairwise"), default="tabular")
     p.add_argument("--evalue", type=float, default=None)
     p.add_argument("--task", choices=("blastn", "megablast"), default="blastn")

@@ -12,7 +12,7 @@ are small and uniform — the source of Orion's parallelism and load balance.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -31,13 +31,96 @@ from repro.core.overlap import overlap_length
 from repro.core.results import FragmentAlignment, OrionResult
 from repro.core.sortmr import parallel_sort_alignments
 from repro.mapreduce.job import MapReduceJob
-from repro.mapreduce.runtime import SerialExecutor
+from repro.mapreduce.runtime import Executor, SerialExecutor, resolve_executor
 from repro.mapreduce.types import InputSplit, TaskKind
 from repro.mpiblast.formatdb import DatabaseShard, shard_database
 from repro.sequence.alphabet import reverse_complement
 from repro.sequence.records import Database, SequenceRecord
 from repro.units import WorkUnit, WorkUnitRecord
+from repro.util.timers import Stopwatch
 from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class _ReduceStats:
+    """Aggregation bookkeeping smuggled through the reduce output stream.
+
+    Reducers may run in worker processes, where mutating a closed-over stats
+    object would update the worker's copy and silently vanish; emitting the
+    stats as a sentinel output item works identically on every executor.
+    ``OrionSearch.run`` filters these out of the alignment stream.
+    """
+
+    stats: AggregationStats
+
+
+class _OrionMapper:
+    """One (fragment × shard) map task, as a picklable callable.
+
+    Holds the search, the query and the precomputed search space so the job
+    can be shipped whole to worker processes (closures cannot be pickled).
+    The pickle of ``search`` deliberately omits the subject k-mer cache —
+    each worker rebuilds it once via the job's setup hook.
+    """
+
+    def __init__(self, search: "OrionSearch", query: SequenceRecord, space: SearchSpace):
+        self.search = search
+        self.query = query
+        self.space = space
+
+    def __call__(self, split: InputSplit):
+        fragment, shard_index = split.payload
+        shard = self.search.shards[shard_index]
+        out = self.search._map_fragment_shard(self.query, fragment, shard, self.space)
+        if not self.search.use_streaming:
+            return out
+        # Hadoop-streaming fidelity: everything crossing the shuffle is
+        # tab-separated text (paper Section IV-B).
+        from repro.core.streaming import (
+            encode_fragment_alignment,
+            shuffle_key_to_text,
+        )
+
+        return [
+            (shuffle_key_to_text(key), encode_fragment_alignment(fa))
+            for key, fa in out
+        ]
+
+
+class _OrionReducer:
+    """Aggregate one (subject, strand) key's alignments; picklable callable.
+
+    Emits the final alignments followed by one :class:`_ReduceStats` item
+    carrying the aggregation bookkeeping for this key.
+    """
+
+    def __init__(self, search: "OrionSearch", query: SequenceRecord, space: SearchSpace):
+        self.search = search
+        self.space = space
+        self.q_codes_plus = query.codes
+        self.q_codes_minus = (
+            reverse_complement(query.codes) if search.strands == "both" else None
+        )
+
+    def __call__(self, key, values):
+        search = self.search
+        if search.use_streaming:
+            from repro.core.streaming import (
+                decode_fragment_alignment,
+                text_to_shuffle_key,
+            )
+
+            key = text_to_shuffle_key(key)
+            values = [decode_fragment_alignment(v) for v in values]
+        subject_id, strand = key
+        q_codes = self.q_codes_plus if strand == PLUS_STRAND else self.q_codes_minus
+        s_codes = search.database[subject_id].codes
+        finals, stats = aggregate_subject_alignments(
+            values, q_codes, s_codes, search.engine, self.space,
+            mode=search.aggregation_mode,
+        )
+        yield from finals
+        yield _ReduceStats(stats)
 
 
 class OrionSearch:
@@ -76,6 +159,16 @@ class OrionSearch:
         ``"plus"`` or ``"both"``.
     num_reducers / sort_tasks:
         Reduce-phase and sort-phase parallelism.
+    executor:
+        MapReduce backend: ``"serial"`` (default), ``"threads"``,
+        ``"processes"``, or any :class:`repro.mapreduce.runtime.Executor`
+        instance. The serial default keeps per-task durations valid as
+        simulator measurements; ``"processes"`` actually runs the
+        (fragment × shard) map tasks in parallel across cores. Alignments
+        are identical for every backend (property-tested).
+    num_workers:
+        Pool size for the ``"threads"``/``"processes"`` executors
+        (``None`` = backend default: 4 threads, or one process per core).
     """
 
     def __init__(
@@ -97,6 +190,8 @@ class OrionSearch:
         sort_tasks: int = 4,
         aggregation_mode: str = "research",
         use_streaming: bool = False,
+        executor: Union[str, Executor, None] = "serial",
+        num_workers: Optional[int] = None,
     ) -> None:
         check_positive("num_shards", num_shards)
         check_positive("unit_scale", unit_scale)
@@ -126,6 +221,7 @@ class OrionSearch:
         self.num_reducers = num_reducers
         self.sort_tasks = sort_tasks
         self.use_streaming = use_streaming
+        self.executor: Executor = resolve_executor(executor, num_workers)
         self._subject_kmers: Optional[Dict[str, Tuple[np.ndarray, np.ndarray]]] = None
         if aggregation_mode not in ("research", "splice"):
             raise ValueError(
@@ -153,6 +249,29 @@ class OrionSearch:
                 for rec in self.database
             }
         return self._subject_kmers
+
+    # ------------------------------------------------------------------ #
+    # process-pool support
+    # ------------------------------------------------------------------ #
+
+    def __getstate__(self):
+        """Pickle without the k-mer cache (workers rebuild it once via the
+        job setup hook — far cheaper than shipping it with every task) and
+        without the executor (workers run tasks, they never dispatch)."""
+        state = self.__dict__.copy()
+        state["_subject_kmers"] = None
+        state["executor"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        if self.executor is None:
+            self.executor = SerialExecutor()
+
+    def _warm_worker(self) -> None:
+        """Per-worker-process initializer: build the subject k-mer cache once
+        per process, before the first (fragment × shard) task runs."""
+        self._subject_kmer_cache()
 
     def _cache_factor(self, fragment_bases: int) -> float:
         if self.cache_model is None:
@@ -254,64 +373,35 @@ class OrionSearch:
             frag_len = overlap + max(1, overlap)
         fragments = fragment_query(query, frag_len, overlap)
 
-        q_codes_plus = query.codes
-        q_codes_minus = reverse_complement(query.codes) if self.strands == "both" else None
-
-        def mapper(split: InputSplit):
-            fragment, shard = split.payload
-            out = self._map_fragment_shard(query, fragment, shard, space)
-            if not self.use_streaming:
-                return out
-            # Hadoop-streaming fidelity: everything crossing the shuffle is
-            # tab-separated text (paper Section IV-B).
-            from repro.core.streaming import (
-                encode_fragment_alignment,
-                shuffle_key_to_text,
-            )
-
-            return [
-                (shuffle_key_to_text(key), encode_fragment_alignment(fa))
-                for key, fa in out
-            ]
-
-        agg_stats = AggregationStats()
-
-        def reducer(key, values):
-            if self.use_streaming:
-                from repro.core.streaming import (
-                    decode_fragment_alignment,
-                    text_to_shuffle_key,
-                )
-
-                key = text_to_shuffle_key(key)
-                values = [decode_fragment_alignment(v) for v in values]
-            subject_id, strand = key
-            q_codes = q_codes_plus if strand == PLUS_STRAND else q_codes_minus
-            s_codes = self.database[subject_id].codes
-            finals, stats = aggregate_subject_alignments(
-                values, q_codes, s_codes, self.engine, space,
-                mode=self.aggregation_mode,
-            )
-            agg_stats.merge(stats)
-            yield from finals
-
         job = MapReduceJob(
-            mapper=mapper,
-            reducer=reducer,
+            mapper=_OrionMapper(self, query, space),
+            reducer=_OrionReducer(self, query, space),
             num_reducers=self.num_reducers,
             name=f"orion/{query.seq_id}",
+            setup=self._warm_worker,
         )
+        # Payloads carry the shard *index*, not the shard: process workers
+        # hold the sharded database already (it ships once with the job), so
+        # tasks only move a fragment descriptor.
         splits = [
-            InputSplit(index=i, payload=(fragment, shard))
+            InputSplit(index=i, payload=(fragment, shard.index))
             for i, (fragment, shard) in enumerate(
                 (f, s) for f in fragments for s in self.shards
             )
         ]
-        mr = SerialExecutor().run(job, splits)
+        mr_wall = Stopwatch().start()
+        mr = self.executor.run(job, splits)
+        mapreduce_wall = mr_wall.stop()
 
-        aggregated: List[Alignment] = mr.flat_outputs()
+        agg_stats = AggregationStats()
+        aggregated: List[Alignment] = []
+        for item in mr.flat_outputs():
+            if isinstance(item, _ReduceStats):
+                agg_stats.merge(item.stats)
+            else:
+                aggregated.append(item)
         ordered, sort_seconds = parallel_sort_alignments(
-            aggregated, num_tasks=self.sort_tasks
+            aggregated, num_tasks=self.sort_tasks, executor=self.executor
         )
         sort_seconds = [d * self.time_scale for d in sort_seconds]
 
@@ -319,7 +409,8 @@ class OrionSearch:
         map_recs = mr.map_records()
         records: List[WorkUnitRecord] = []
         for split, rec in zip(splits, map_recs):
-            fragment, shard = split.payload
+            fragment, shard_index = split.payload
+            shard = self.shards[shard_index]
             unit = WorkUnit(
                 query_id=query.seq_id,
                 shard_index=shard.index,
@@ -357,6 +448,8 @@ class OrionSearch:
             num_shards=len(self.shards),
             merged_pairs=agg_stats.merged_pairs,
             dropped_partials=agg_stats.dropped_partials,
+            executor_kind=self.executor.kind,
+            mapreduce_wall_seconds=mapreduce_wall,
         )
         if cluster is not None:
             result.schedule = self.simulate(result, cluster)

@@ -76,6 +76,13 @@ class OrionResult:
     merged_pairs: int = 0
     dropped_partials: int = 0
     schedule: Optional[Schedule] = None
+    #: Which executor backend ran the MapReduce phases ("serial" durations
+    #: are the only simulator-safe measurements).
+    executor_kind: str = "serial"
+    #: Real wall-clock of the map+shuffle+reduce job on this machine —
+    #: the number the executor benchmark tracks (parallel backends should
+    #: shrink it while leaving ``alignments`` bit-identical).
+    mapreduce_wall_seconds: float = 0.0
 
     def __len__(self) -> int:
         return len(self.alignments)
@@ -128,6 +135,8 @@ class OrionResult:
             merged_pairs=self.merged_pairs,
             dropped_partials=self.dropped_partials,
             schedule=None,
+            executor_kind=self.executor_kind,
+            mapreduce_wall_seconds=self.mapreduce_wall_seconds,
         )
 
     def total_measured_seconds(self) -> float:

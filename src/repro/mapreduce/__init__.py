@@ -10,9 +10,20 @@ block-oriented shared-storage model standing in for HDFS.
 """
 
 from repro.mapreduce.types import InputSplit, JobResult, TaskKind, TaskRecord
-from repro.mapreduce.partitioner import hash_partitioner, make_range_partitioner
+from repro.mapreduce.partitioner import (
+    RangePartitioner,
+    hash_partitioner,
+    make_range_partitioner,
+)
 from repro.mapreduce.job import MapReduceJob
-from repro.mapreduce.runtime import SerialExecutor, ThreadedExecutor
+from repro.mapreduce.runtime import (
+    EXECUTOR_KINDS,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadedExecutor,
+    resolve_executor,
+)
 from repro.mapreduce.storage import BlockStore, StoredFile
 from repro.mapreduce.streaming import run_streaming_job
 
@@ -21,11 +32,16 @@ __all__ = [
     "JobResult",
     "TaskKind",
     "TaskRecord",
+    "RangePartitioner",
     "hash_partitioner",
     "make_range_partitioner",
     "MapReduceJob",
+    "EXECUTOR_KINDS",
+    "Executor",
+    "ProcessExecutor",
     "SerialExecutor",
     "ThreadedExecutor",
+    "resolve_executor",
     "BlockStore",
     "StoredFile",
     "run_streaming_job",

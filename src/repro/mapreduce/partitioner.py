@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import zlib
 from bisect import bisect_right
-from typing import Any, Callable, List, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, List, Sequence, Tuple
 
 Partitioner = Callable[[Any, int], int]
 
@@ -34,6 +35,25 @@ def hash_partitioner(key: Any, num_partitions: int) -> int:
     return zlib.crc32(_key_bytes(key)) % num_partitions
 
 
+@dataclass(frozen=True)
+class RangePartitioner:
+    """Range partitioner over sorted splitter values.
+
+    A class (not a closure) so jobs carrying it stay picklable for the
+    process-pool executor.
+    """
+
+    splitters: Tuple[Any, ...]
+
+    def __call__(self, key: Any, num_partitions: int) -> int:
+        if num_partitions != len(self.splitters) + 1:
+            raise ValueError(
+                f"range partitioner built for {len(self.splitters) + 1} partitions, "
+                f"job configured {num_partitions}"
+            )
+        return bisect_right(self.splitters, key)
+
+
 def make_range_partitioner(splitters: Sequence[Any]) -> Partitioner:
     """Range partitioner from sorted splitter values.
 
@@ -46,13 +66,4 @@ def make_range_partitioner(splitters: Sequence[Any]) -> Partitioner:
     split_list: List[Any] = list(splitters)
     if any(split_list[i] > split_list[i + 1] for i in range(len(split_list) - 1)):
         raise ValueError("splitters must be sorted ascending")
-
-    def partition(key: Any, num_partitions: int) -> int:
-        if num_partitions != len(split_list) + 1:
-            raise ValueError(
-                f"range partitioner built for {len(split_list) + 1} partitions, "
-                f"job configured {num_partitions}"
-            )
-        return bisect_right(split_list, key)
-
-    return partition
+    return RangePartitioner(splitters=tuple(split_list))

@@ -1,29 +1,67 @@
 """Executors: run a MapReduce job and measure per-task durations.
 
-Two executors with identical semantics:
+Three executors with identical result semantics (DESIGN.md row 5's
+"pluggable executors"):
 
 * :class:`SerialExecutor` — runs every task in this thread. Its per-task
   wall-clock durations are the *measurements* the cluster simulator replays
   onto modelled clusters (DESIGN.md §2: measured work, simulated scheduling).
 * :class:`ThreadedExecutor` — a thread pool, for overlap of any releasing-GIL
-  NumPy work and as a concurrency correctness check (results must be
-  identical to serial execution; tests assert this).
+  NumPy work and as a concurrency correctness check. Its task records are
+  flagged *contended*: concurrent threads share the GIL, so durations are
+  inflated by interference and must never be fed to the simulator as if they
+  were serial measurements.
+* :class:`ProcessExecutor` — a process pool; map and reduce tasks run on
+  separate cores, which is the point of the paper's fine-grained work units.
+  The job is pickled once per worker (not per task) and an optional
+  per-worker :attr:`~repro.mapreduce.job.MapReduceJob.setup` hook lets the
+  job build expensive caches once per process. Jobs that close over
+  unpicklable state (lambdas, local closures) fall back to serial execution
+  with a warning.
 
-Both return the same :class:`~repro.mapreduce.types.JobResult` for the same
-job and splits, independent of scheduling order.
+All executors return the same :class:`~repro.mapreduce.types.JobResult` for
+the same job and splits, independent of scheduling order: map outputs are
+ordered by split index and reducer outputs by partition index before the
+shuffle/result assembly, so results are deterministic end to end. Every
+:class:`~repro.mapreduce.types.TaskRecord` is tagged with the executor kind
+that produced it; only serial, uncontended records are ``simulator_safe``.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-from typing import Any, List, Sequence, Tuple
+import multiprocessing
+import os
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, List, Optional, Protocol, Sequence, Tuple, Union
 
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.types import InputSplit, JobResult, TaskKind, TaskRecord
 from repro.util.timers import Stopwatch
 
+#: The executor kinds :func:`resolve_executor` (and the CLI) accept.
+EXECUTOR_KINDS = ("serial", "threads", "processes")
 
-def _measure_map(job: MapReduceJob, split: InputSplit) -> Tuple[List[Tuple[Any, Any]], TaskRecord]:
+
+def _payload_records(payload: Any) -> int:
+    """How many input records a split payload carries.
+
+    A ``list`` payload is a batch of records (sortmr chunks, streaming line
+    groups); anything else — e.g. Orion's ``(fragment, shard)`` descriptor
+    tuple — is one logical record.
+    """
+    if isinstance(payload, list):
+        return len(payload)
+    return 1
+
+
+def _measure_map(
+    job: MapReduceJob,
+    split: InputSplit,
+    executor: str = "serial",
+    contended: bool = False,
+) -> Tuple[List[Tuple[Any, Any]], TaskRecord]:
     sw = Stopwatch().start()
     pairs = job.run_map_task(split)
     dur = sw.stop()
@@ -31,14 +69,20 @@ def _measure_map(job: MapReduceJob, split: InputSplit) -> Tuple[List[Tuple[Any, 
         task_id=f"{job.name}/map/{split.index:05d}",
         kind=TaskKind.MAP,
         duration=dur,
-        input_records=1,
+        input_records=_payload_records(split.payload),
         output_records=len(pairs),
+        executor=executor,
+        contended=contended,
     )
     return pairs, rec
 
 
 def _measure_reduce(
-    job: MapReduceJob, partition_index: int, groups
+    job: MapReduceJob,
+    partition_index: int,
+    groups,
+    executor: str = "serial",
+    contended: bool = False,
 ) -> Tuple[List[Any], TaskRecord]:
     sw = Stopwatch().start()
     out = job.run_reduce_task(groups)
@@ -49,37 +93,73 @@ def _measure_reduce(
         duration=dur,
         input_records=sum(len(v) for _, v in groups),
         output_records=len(out),
+        executor=executor,
+        contended=contended,
     )
     return out, rec
+
+
+def _assemble(
+    job: MapReduceJob,
+    partitions,
+    outputs: List[List[Any]],
+    records: List[TaskRecord],
+) -> JobResult:
+    distinct = len({key for part in partitions for key, _ in part})
+    return JobResult(outputs=outputs, records=records, shuffle_keys=distinct)
+
+
+class Executor(Protocol):
+    """What OrionSearch, sortmr and the streaming runner plug in.
+
+    ``kind`` names the backend (``"serial"``, ``"threads"``,
+    ``"processes"``) and is stamped onto every task record the executor
+    produces, so downstream consumers (the cluster simulator above all) can
+    tell trustworthy serial measurements from contended ones.
+    """
+
+    kind: str
+
+    def run(self, job: MapReduceJob, splits: Sequence[InputSplit]) -> JobResult:
+        ...
 
 
 class SerialExecutor:
     """Run all tasks sequentially in the calling thread."""
 
+    kind = "serial"
+
     def run(self, job: MapReduceJob, splits: Sequence[InputSplit]) -> JobResult:
         map_outputs: List[List[Tuple[Any, Any]]] = []
         records: List[TaskRecord] = []
         for split in splits:
-            pairs, rec = _measure_map(job, split)
+            pairs, rec = _measure_map(job, split, executor=self.kind)
             map_outputs.append(pairs)
             records.append(rec)
         partitions = job.shuffle(map_outputs)
         outputs: List[List[Any]] = []
         for p, groups in enumerate(partitions):
-            out, rec = _measure_reduce(job, p, groups)
+            out, rec = _measure_reduce(job, p, groups, executor=self.kind)
             outputs.append(out)
             records.append(rec)
-        distinct = len({key for part in partitions for key, _ in part})
-        return JobResult(outputs=outputs, records=records, shuffle_keys=distinct)
+        return _assemble(job, partitions, outputs, records)
 
 
 class ThreadedExecutor:
-    """Run map and reduce tasks on a thread pool.
+    """Run map and reduce tasks on one shared thread pool.
 
     Output ordering is normalized after the barrier (map outputs indexed by
     split, reducer outputs by partition), so results are deterministic
     regardless of thread interleaving.
+
+    One pool serves both phases — creating a second pool for the reduce
+    phase would pay thread startup/teardown twice per job for nothing. Task
+    records are flagged ``contended=True``: CPU-bound Python tasks running
+    concurrently under the GIL inflate each other's wall-clock, so these
+    durations are *not* simulator-safe serial measurements.
     """
+
+    kind = "threads"
 
     def __init__(self, max_workers: int = 4) -> None:
         if max_workers <= 0:
@@ -87,20 +167,183 @@ class ThreadedExecutor:
         self.max_workers = max_workers
 
     def run(self, job: MapReduceJob, splits: Sequence[InputSplit]) -> JobResult:
+        contended = self.max_workers > 1
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            map_results = list(pool.map(lambda s: _measure_map(job, s), splits))
-        map_outputs = [pairs for pairs, _ in map_results]
-        records: List[TaskRecord] = [rec for _, rec in map_results]
+            map_results = list(
+                pool.map(
+                    lambda s: _measure_map(
+                        job, s, executor=self.kind, contended=contended
+                    ),
+                    splits,
+                )
+            )
+            map_outputs = [pairs for pairs, _ in map_results]
+            records: List[TaskRecord] = [rec for _, rec in map_results]
 
-        partitions = job.shuffle(map_outputs)
-        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            partitions = job.shuffle(map_outputs)
             reduce_results = list(
                 pool.map(
-                    lambda item: _measure_reduce(job, item[0], item[1]),
+                    lambda item: _measure_reduce(
+                        job, item[0], item[1], executor=self.kind, contended=contended
+                    ),
                     enumerate(partitions),
                 )
             )
         outputs = [out for out, _ in reduce_results]
         records.extend(rec for _, rec in reduce_results)
-        distinct = len({key for part in partitions for key, _ in part})
-        return JobResult(outputs=outputs, records=records, shuffle_keys=distinct)
+        return _assemble(job, partitions, outputs, records)
+
+
+# --------------------------------------------------------------------------- #
+# process pool
+# --------------------------------------------------------------------------- #
+
+#: The job the current worker process executes, installed by
+#: :func:`_process_worker_init`. Module-level so task functions stay
+#: picklable references under both fork and spawn start methods.
+_WORKER_JOB: Optional[MapReduceJob] = None
+
+
+def _process_worker_init(job_bytes: bytes) -> None:
+    """Per-worker initializer: unpickle the job once, then run its setup hook.
+
+    This is where e.g. Orion builds the subject k-mer cache — once per
+    process instead of pickling it with every task.
+    """
+    global _WORKER_JOB
+    _WORKER_JOB = pickle.loads(job_bytes)
+    if _WORKER_JOB.setup is not None:
+        _WORKER_JOB.setup()
+
+
+def _process_map_task(split: InputSplit) -> Tuple[List[Tuple[Any, Any]], TaskRecord]:
+    assert _WORKER_JOB is not None, "worker initializer did not run"
+    return _measure_map(_WORKER_JOB, split, executor=ProcessExecutor.kind)
+
+
+def _process_reduce_task(item) -> Tuple[List[Any], TaskRecord]:
+    assert _WORKER_JOB is not None, "worker initializer did not run"
+    partition_index, groups = item
+    return _measure_reduce(
+        _WORKER_JOB, partition_index, groups, executor=ProcessExecutor.kind
+    )
+
+
+class ProcessExecutor:
+    """Run map and reduce tasks on a :class:`ProcessPoolExecutor`.
+
+    The job (mapper, reducer, partitioner, combiner, setup hook) is pickled
+    *once* and shipped to each worker through the pool initializer — task
+    dispatch only moves split payloads and results, and an optional
+    ``job.setup`` hook builds per-process caches before the first task.
+    Because dispatch relies only on module-level functions plus that
+    initializer, it is safe under every multiprocessing start method,
+    including ``spawn``.
+
+    Jobs that cannot be pickled (closures over local state) fall back to a
+    :class:`SerialExecutor` run with a :class:`RuntimeWarning`; the records
+    of such a run are tagged ``executor="serial"`` — truthfully, since that
+    is what actually produced the measurements.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; defaults to ``os.cpu_count()``.
+    start_method:
+        Optional multiprocessing start method (``"fork"``, ``"spawn"``,
+        ``"forkserver"``); ``None`` uses the platform default.
+    """
+
+    kind = "processes"
+
+    def __init__(
+        self, max_workers: Optional[int] = None, start_method: Optional[str] = None
+    ) -> None:
+        if max_workers is None:
+            max_workers = os.cpu_count() or 1
+        if max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        self.max_workers = max_workers
+        self.start_method = start_method
+
+    # ------------------------------------------------------------------ #
+
+    def _fallback(
+        self, job: MapReduceJob, splits: Sequence[InputSplit], why: str
+    ) -> JobResult:
+        warnings.warn(
+            f"ProcessExecutor falling back to serial execution for job "
+            f"{job.name!r}: {why}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return SerialExecutor().run(job, splits)
+
+    def run(self, job: MapReduceJob, splits: Sequence[InputSplit]) -> JobResult:
+        try:
+            job_bytes = pickle.dumps(job)
+        except Exception as exc:  # PicklingError/AttributeError/TypeError
+            return self._fallback(job, splits, f"job is not picklable ({exc})")
+        if not splits or self.max_workers == 1:
+            # Nothing to parallelize — don't pay pool startup.
+            return SerialExecutor().run(job, splits)
+        try:
+            return self._run_pool(job, job_bytes, splits)
+        except Exception as exc:
+            # Unpicklable payloads/outputs or a broken pool surface here; the
+            # serial retry either succeeds or raises the genuine task error.
+            return self._fallback(
+                job, splits, f"process pool failed ({type(exc).__name__}: {exc})"
+            )
+
+    def _run_pool(
+        self, job: MapReduceJob, job_bytes: bytes, splits: Sequence[InputSplit]
+    ) -> JobResult:
+        ctx = multiprocessing.get_context(self.start_method)
+        with ProcessPoolExecutor(
+            max_workers=min(self.max_workers, max(1, len(splits))),
+            mp_context=ctx,
+            initializer=_process_worker_init,
+            initargs=(job_bytes,),
+        ) as pool:
+            # pool.map yields results in submission order: map outputs come
+            # back indexed by split, reducer outputs by partition.
+            map_results = list(pool.map(_process_map_task, splits))
+            map_outputs = [pairs for pairs, _ in map_results]
+            records: List[TaskRecord] = [rec for _, rec in map_results]
+
+            partitions = job.shuffle(map_outputs)
+            reduce_results = list(
+                pool.map(_process_reduce_task, list(enumerate(partitions)))
+            )
+        outputs = [out for out, _ in reduce_results]
+        records.extend(rec for _, rec in reduce_results)
+        return _assemble(job, partitions, outputs, records)
+
+
+# --------------------------------------------------------------------------- #
+
+
+def resolve_executor(
+    spec: Union[str, Executor, None], max_workers: Optional[int] = None
+) -> Executor:
+    """Turn an executor spec (name or instance) into an executor.
+
+    ``None`` and ``"serial"`` give a :class:`SerialExecutor` (the default
+    everywhere — its measurements feed the cluster simulator); ``"threads"``
+    and ``"processes"`` build the corresponding pool with ``max_workers``
+    workers; an object with a ``run`` method passes through unchanged.
+    """
+    if spec is None or spec == "serial":
+        return SerialExecutor()
+    if spec == "threads":
+        return ThreadedExecutor(max_workers=max_workers or 4)
+    if spec == "processes":
+        return ProcessExecutor(max_workers=max_workers)
+    if isinstance(spec, str):
+        raise ValueError(
+            f"unknown executor {spec!r}; expected one of {EXECUTOR_KINDS}"
+        )
+    if hasattr(spec, "run"):
+        return spec
+    raise TypeError(f"executor must be a name or an Executor, got {type(spec).__name__}")

@@ -10,10 +10,11 @@ Tests assert both modes produce identical final alignments.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Tuple
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Tuple, Union
 
 from repro.mapreduce.job import MapReduceJob
-from repro.mapreduce.runtime import SerialExecutor
+from repro.mapreduce.runtime import Executor, resolve_executor
 from repro.mapreduce.types import InputSplit, JobResult
 
 #: A streaming mapper maps one input line to zero or more output lines, each
@@ -31,6 +32,29 @@ def _split_kv(line: str) -> Tuple[str, str]:
     return line, ""
 
 
+@dataclass(frozen=True)
+class _LineMapper:
+    """Adapt a streaming mapper to split-level map; picklable when the
+    wrapped mapper is (a closure would pin the job to in-process executors)."""
+
+    mapper: StreamingMapper
+
+    def __call__(self, split: InputSplit):
+        for line in split.payload:
+            for out_line in self.mapper(line):
+                yield _split_kv(out_line.rstrip("\n"))
+
+
+@dataclass(frozen=True)
+class _LineReducer:
+    """Adapt a streaming reducer to the job reducer signature (picklable)."""
+
+    reducer: StreamingReducer
+
+    def __call__(self, key: str, values: List[str]):
+        yield from self.reducer(key, values)
+
+
 def run_streaming_job(
     input_lines: Iterable[str],
     mapper: StreamingMapper,
@@ -38,13 +62,16 @@ def run_streaming_job(
     num_reducers: int = 1,
     lines_per_split: int = 1,
     name: str = "streaming",
+    executor: Union[str, Executor, None] = None,
 ) -> Tuple[List[str], JobResult]:
     """Run a streaming-style job over input lines.
 
     Lines are chunked into splits of ``lines_per_split``; map output lines
     are parsed as ``key\\tvalue`` and shuffled like any other job. Returns
     the reducer output lines (partition order) plus the usual
-    :class:`JobResult` with task records.
+    :class:`JobResult` with task records. ``executor`` selects the backend
+    (default serial); process execution requires the user mapper/reducer to
+    be picklable, otherwise it falls back to serial with a warning.
     """
     if lines_per_split <= 0:
         raise ValueError(f"lines_per_split must be positive, got {lines_per_split}")
@@ -54,16 +81,11 @@ def run_streaming_job(
         for i, j in enumerate(range(0, len(lines), lines_per_split))
     ]
 
-    def map_fn(split: InputSplit):
-        for line in split.payload:
-            for out_line in mapper(line):
-                yield _split_kv(out_line.rstrip("\n"))
-
-    def reduce_fn(key: str, values: List[str]):
-        yield from reducer(key, values)
-
     job = MapReduceJob(
-        mapper=map_fn, reducer=reduce_fn, num_reducers=num_reducers, name=name
+        mapper=_LineMapper(mapper),
+        reducer=_LineReducer(reducer),
+        num_reducers=num_reducers,
+        name=name,
     )
-    result = SerialExecutor().run(job, splits)
+    result = resolve_executor(executor).run(job, splits)
     return result.flat_outputs(), result

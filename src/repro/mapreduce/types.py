@@ -41,6 +41,11 @@ class TaskRecord:
     cluster simulator replays these records onto a modelled cluster, so this
     type is the contract between :mod:`repro.mapreduce` and
     :mod:`repro.cluster`.
+
+    ``executor`` names the backend that produced the measurement and
+    ``contended`` flags durations taken while other tasks shared the same
+    interpreter (thread pools under the GIL). Only serial, uncontended
+    measurements are valid simulator inputs — see :attr:`simulator_safe`.
     """
 
     task_id: str
@@ -48,12 +53,19 @@ class TaskRecord:
     duration: float
     input_records: int = 0
     output_records: int = 0
+    executor: str = "serial"
+    contended: bool = False
 
     def __post_init__(self) -> None:
         if self.duration < 0:
             raise ValueError(f"duration must be non-negative, got {self.duration}")
         if not self.task_id:
             raise ValueError("task_id must be non-empty")
+
+    @property
+    def simulator_safe(self) -> bool:
+        """Whether this duration may be replayed as a serial measurement."""
+        return self.executor == "serial" and not self.contended
 
     def scaled(self, factor: float) -> "TaskRecord":
         """Copy with duration multiplied (hardware-model application)."""
@@ -65,6 +77,8 @@ class TaskRecord:
             duration=self.duration * factor,
             input_records=self.input_records,
             output_records=self.output_records,
+            executor=self.executor,
+            contended=self.contended,
         )
 
 

@@ -54,6 +54,24 @@ class TestParallelSort:
         b, _ = parallel_sort_alignments(alns, num_tasks=3)
         assert [x.sort_key() for x in a] == [x.sort_key() for x in b]
 
+    def test_skewed_scores_still_sort(self):
+        """Massive key skew (one dominant score) must neither crash nor leave
+        items unsorted once duplicate splitters are removed."""
+        alns = [_aln(1e-5, 50, "hot")] * 40 + random_alignments(10, seed=8)
+        out, durations = parallel_sort_alignments(alns, num_tasks=6)
+        keys = [a.sort_key() for a in out]
+        assert keys == sorted(keys)
+        assert len(out) == 50
+        # Partition count shrinks with the deduped splitters.
+        assert 1 <= len(durations) <= 6
+
+    @pytest.mark.parametrize("executor", ["threads", "processes"])
+    def test_executor_backends_match_serial(self, executor):
+        alns = random_alignments(60, seed=5)
+        serial, _ = parallel_sort_alignments(alns, num_tasks=3)
+        other, _ = parallel_sort_alignments(alns, num_tasks=3, executor=executor)
+        assert [a.sort_key() for a in other] == [a.sort_key() for a in serial]
+
 
 class TestChooseSplitters:
     def test_count(self):
@@ -61,6 +79,20 @@ class TestChooseSplitters:
         sp = choose_splitters(keys, 4)
         assert len(sp) == 3
         assert sp == sorted(sp)
+
+    def test_skewed_keys_no_duplicate_splitters(self):
+        """Regression: a heavily skewed distribution used to yield the same
+        splitter at several quantiles — a duplicated splitter bounds an empty
+        key range, i.e. a reduce partition that can never receive data."""
+        keys = [(1.0, 7)] * 95 + [(float(i), 0) for i in range(2, 7)]
+        sp = choose_splitters(keys, 8)
+        assert len(set(sp)) == len(sp)
+        assert sp == sorted(sp)
+        assert len(sp) <= 7
+
+    def test_all_identical_keys_collapse(self):
+        sp = choose_splitters([(3.5, 1)] * 50, 6)
+        assert len(sp) <= 1
 
     def test_single_partition_no_splitters(self):
         assert choose_splitters([(1.0,)], 1) == []

@@ -1,21 +1,48 @@
 """Tests for executors: correctness, determinism, task records."""
 
+import pickle
+
 import pytest
 
+from repro.mapreduce import runtime as runtime_mod
 from repro.mapreduce.job import MapReduceJob
-from repro.mapreduce.runtime import SerialExecutor, ThreadedExecutor
+from repro.mapreduce.runtime import (
+    EXECUTOR_KINDS,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadedExecutor,
+    resolve_executor,
+)
 from repro.mapreduce.types import InputSplit, TaskKind
 
 
+# Module-level map/reduce functions so jobs built from them are picklable
+# (the process-pool tests need this; closures are the fallback case).
+def _mod5_mapper(split):
+    for x in split.payload:
+        yield x % 5, x
+
+
+def _sum_reducer(key, values):
+    yield key, sum(values)
+
+
+_SETUP_STATE = {"offset": 0}
+
+
+def _install_offset():
+    _SETUP_STATE["offset"] = 1000
+
+
+def _offset_mapper(split):
+    for x in split.payload:
+        yield x % 5, x + _SETUP_STATE["offset"]
+
+
 def make_job(n_red=2):
-    def mapper(split):
-        for x in split.payload:
-            yield x % 5, x
-
-    def reducer(key, values):
-        yield key, sum(values)
-
-    return MapReduceJob(mapper=mapper, reducer=reducer, num_reducers=n_red, name="t")
+    return MapReduceJob(
+        mapper=_mod5_mapper, reducer=_sum_reducer, num_reducers=n_red, name="t"
+    )
 
 
 def make_splits(n=6, width=10):
@@ -25,14 +52,17 @@ def make_splits(n=6, width=10):
     ]
 
 
+def expected_totals(n=6, width=10):
+    expected = {}
+    for x in range(n * width):
+        expected[x % 5] = expected.get(x % 5, 0) + x
+    return expected
+
+
 class TestSerialExecutor:
     def test_outputs_correct(self):
         result = SerialExecutor().run(make_job(), make_splits())
-        totals = dict(result.flat_outputs())
-        expected = {}
-        for x in range(60):
-            expected[x % 5] = expected.get(x % 5, 0) + x
-        assert totals == expected
+        assert dict(result.flat_outputs()) == expected_totals()
 
     def test_task_records(self):
         result = SerialExecutor().run(make_job(3), make_splits(4))
@@ -50,6 +80,30 @@ class TestSerialExecutor:
         result = SerialExecutor().run(make_job(), [])
         assert result.flat_outputs() == []
         assert len(result.reduce_records()) == 2  # reducers still run (empty)
+
+    def test_records_simulator_safe(self):
+        """Serial measurements are the simulator's contract."""
+        result = SerialExecutor().run(make_job(), make_splits())
+        assert all(r.executor == "serial" for r in result.records)
+        assert all(not r.contended for r in result.records)
+        assert all(r.simulator_safe for r in result.records)
+
+    def test_map_input_records_counts_list_payload(self):
+        """Regression: input_records must report the split payload size, not
+        a hardcoded 1 (sortmr/streaming splits are record batches)."""
+        result = SerialExecutor().run(make_job(), make_splits(n=3, width=7))
+        assert [r.input_records for r in result.map_records()] == [7, 7, 7]
+
+    def test_map_input_records_descriptor_payload_is_one(self):
+        """Non-list payloads (Orion's (fragment, shard) descriptors) are one
+        logical record, not len(tuple) records."""
+
+        def descriptor_mapper(split):
+            yield split.payload[0], split.payload[1]
+
+        job = MapReduceJob(mapper=descriptor_mapper, reducer=_sum_reducer, name="d")
+        result = SerialExecutor().run(job, [InputSplit(index=0, payload=("k", 3))])
+        assert result.map_records()[0].input_records == 1
 
 
 class TestThreadedExecutor:
@@ -70,6 +124,136 @@ class TestThreadedExecutor:
         assert len(result.map_records()) == 5
         assert len(result.reduce_records()) == 2
 
+    def test_single_pool_for_both_phases(self, monkeypatch):
+        """Regression: one thread pool must serve map and reduce; a second
+        pool per job pays startup/teardown twice for nothing."""
+        created = []
+        real_pool = runtime_mod.ThreadPoolExecutor
+
+        def counting_pool(*args, **kwargs):
+            created.append(1)
+            return real_pool(*args, **kwargs)
+
+        monkeypatch.setattr(runtime_mod, "ThreadPoolExecutor", counting_pool)
+        ThreadedExecutor(3).run(make_job(2), make_splits(4))
+        assert len(created) == 1
+
+    def test_records_tagged_contended(self):
+        """GIL-shared timings must never read as serial measurements."""
+        result = ThreadedExecutor(4).run(make_job(2), make_splits(5))
+        assert all(r.executor == "threads" for r in result.records)
+        assert all(r.contended for r in result.records)
+        assert not any(r.simulator_safe for r in result.records)
+
+    def test_single_worker_not_contended(self):
+        result = ThreadedExecutor(1).run(make_job(2), make_splits(3))
+        assert all(not r.contended for r in result.records)
+
+
+class TestProcessExecutor:
+    def test_matches_serial(self):
+        job = make_job(3)
+        splits = make_splits(8)
+        serial = SerialExecutor().run(job, splits)
+        proc = ProcessExecutor(max_workers=2).run(job, splits)
+        assert serial.outputs == proc.outputs
+        assert serial.shuffle_keys == proc.shuffle_keys
+
+    def test_records_tagged(self):
+        result = ProcessExecutor(max_workers=2).run(make_job(2), make_splits(4))
+        assert len(result.map_records()) == 4
+        assert len(result.reduce_records()) == 2
+        assert all(r.executor == "processes" for r in result.records)
+        assert not any(r.simulator_safe for r in result.records)
+
+    def test_deterministic_record_order(self):
+        """Map records come back in split order, reduce in partition order,
+        regardless of which worker ran what."""
+        result = ProcessExecutor(max_workers=2).run(make_job(3), make_splits(6))
+        assert [r.task_id for r in result.map_records()] == [
+            f"t/map/{i:05d}" for i in range(6)
+        ]
+        assert [r.task_id for r in result.reduce_records()] == [
+            f"t/reduce/{i:05d}" for i in range(3)
+        ]
+
+    def test_unpicklable_job_falls_back_to_serial(self):
+        captured = []
+
+        def closure_mapper(split):  # local function: not picklable
+            for x in split.payload:
+                captured.append(x)
+                yield x % 5, x
+
+        job = MapReduceJob(mapper=closure_mapper, reducer=_sum_reducer, name="c")
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            result = ProcessExecutor(max_workers=2).run(job, make_splits(3))
+        assert dict(result.flat_outputs()) == expected_totals(3)
+        # The fallback truthfully tags its records as serial measurements.
+        assert all(r.executor == "serial" for r in result.records)
+        assert captured  # the closure really ran, in this process
+
+    def test_setup_hook_runs_per_worker(self):
+        """The per-worker initializer runs before any task in that process
+        (Orion warms its k-mer cache there); in-process executors skip it."""
+        _SETUP_STATE["offset"] = 0
+        job = MapReduceJob(
+            mapper=_offset_mapper,
+            reducer=_sum_reducer,
+            num_reducers=2,
+            name="s",
+            setup=_install_offset,
+        )
+        splits = make_splits(2, width=5)
+        proc = ProcessExecutor(max_workers=2).run(job, splits)
+        offsets = dict(proc.flat_outputs())
+        base = SerialExecutor().run(make_job(2), splits)
+        assert sum(offsets.values()) == sum(dict(base.flat_outputs()).values()) + 1000 * 10
+        # Serial execution never calls setup (the caller's objects are live).
+        assert _SETUP_STATE["offset"] == 0
+
+    def test_empty_splits(self):
+        result = ProcessExecutor(max_workers=2).run(make_job(), [])
+        assert result.flat_outputs() == []
+
+    def test_worker_count_validated(self):
+        with pytest.raises(ValueError):
+            ProcessExecutor(max_workers=0)
+
+    def test_job_pickles_once_per_worker_not_per_task(self):
+        """Dispatch ships splits, not the job: a job much larger than any
+        split still runs tasks whose arguments are just the splits."""
+        job = make_job()
+        blob = pickle.dumps(job)
+        assert len(blob) < 10_000  # sanity: module-refs, not code objects
+        # The real assertion is architectural: _process_map_task takes only
+        # the split; the job travels via the pool initializer.
+        import inspect
+
+        params = list(inspect.signature(runtime_mod._process_map_task).parameters)
+        assert params == ["split"]
+
+
+class TestResolveExecutor:
+    def test_names(self):
+        assert resolve_executor(None).kind == "serial"
+        assert resolve_executor("serial").kind == "serial"
+        assert resolve_executor("threads", 3).max_workers == 3
+        assert resolve_executor("processes", 2).max_workers == 2
+        assert set(EXECUTOR_KINDS) == {"serial", "threads", "processes"}
+
+    def test_instance_passthrough(self):
+        ex = ThreadedExecutor(2)
+        assert resolve_executor(ex) is ex
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            resolve_executor("gpu")
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            resolve_executor(42)
+
 
 class TestTaskRecordScaling:
     def test_scaled(self):
@@ -77,6 +261,18 @@ class TestTaskRecordScaling:
 
         rec = TaskRecord(task_id="x", kind=TaskKind.MAP, duration=2.0)
         assert rec.scaled(3.0).duration == 6.0
+
+    def test_scaled_preserves_executor_tags(self):
+        from repro.mapreduce.types import TaskRecord
+
+        rec = TaskRecord(
+            task_id="x", kind=TaskKind.MAP, duration=2.0,
+            executor="threads", contended=True,
+        )
+        scaled = rec.scaled(2.0)
+        assert scaled.executor == "threads"
+        assert scaled.contended
+        assert not scaled.simulator_safe
 
     def test_scale_positive(self):
         from repro.mapreduce.types import TaskRecord

@@ -1,0 +1,144 @@
+"""Executor-equivalence properties: serial == threaded == process.
+
+The paper's 100%-accuracy claim must survive the executor swap — parallel
+backends change *when* work runs, never *what* it produces. These tests push
+all three executors end to end through ``OrionSearch.run`` (object mode,
+Hadoop-streaming mode, both strands) and ``parallel_sort_alignments`` and
+require field-identical output, down to the alignment paths.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blast.hsp import Alignment
+from repro.core.orion import OrionSearch
+from repro.core.sortmr import parallel_sort_alignments
+from repro.sequence.generator import (
+    HomologySpec,
+    make_database,
+    make_query_with_homologies,
+)
+
+
+def canonical(alignments):
+    """Every field of every alignment, with the path as raw bytes — equality
+    here is the "byte-identical" bar the executor backends must clear."""
+    out = []
+    for a in alignments:
+        fields = dict(vars(a))
+        path = fields.pop("path", None)
+        fields["path"] = None if path is None else path.tobytes()
+        out.append(tuple(sorted(fields.items())))
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# OrionSearch end to end
+# --------------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def tiny_db():
+    return make_database(seed=71, num_sequences=8, mean_length=3000)
+
+
+@pytest.fixture(scope="module")
+def tiny_query(tiny_db):
+    query, _ = make_query_with_homologies(
+        seed=72, length=20_000, database=tiny_db,
+        homologies=[HomologySpec(length=600), HomologySpec(length=400)],
+    )
+    return query
+
+
+def run_orion(db, query, executor, use_streaming=False, strands="plus"):
+    search = OrionSearch(
+        database=db,
+        num_shards=4,
+        fragment_length=6000,
+        strands=strands,
+        use_streaming=use_streaming,
+        executor=executor,
+        num_workers=2,
+    )
+    return search.run(query)
+
+
+@pytest.mark.parametrize("use_streaming", [False, True])
+@pytest.mark.parametrize("strands", ["plus", "both"])
+class TestOrionExecutorEquivalence:
+    def test_threads_equal_serial(self, tiny_db, tiny_query, use_streaming, strands):
+        serial = run_orion(tiny_db, tiny_query, "serial", use_streaming, strands)
+        threaded = run_orion(tiny_db, tiny_query, "threads", use_streaming, strands)
+        assert canonical(threaded.alignments) == canonical(serial.alignments)
+        assert len(serial.alignments) > 0
+
+    def test_processes_equal_serial(self, tiny_db, tiny_query, use_streaming, strands):
+        serial = run_orion(tiny_db, tiny_query, "serial", use_streaming, strands)
+        proc = run_orion(tiny_db, tiny_query, "processes", use_streaming, strands)
+        assert canonical(proc.alignments) == canonical(serial.alignments)
+        assert proc.executor_kind == "processes"
+        # Aggregation stats travel through the reduce output stream, so they
+        # must survive the process boundary too.
+        assert proc.merged_pairs == serial.merged_pairs
+        assert proc.dropped_partials == serial.dropped_partials
+
+
+def test_serial_records_simulator_safe_processes_not(tiny_db, tiny_query):
+    serial = run_orion(tiny_db, tiny_query, "serial")
+    assert serial.executor_kind == "serial"
+    assert serial.mapreduce_wall_seconds > 0
+    proc = run_orion(tiny_db, tiny_query, "processes")
+    assert proc.executor_kind == "processes"
+
+
+# --------------------------------------------------------------------------- #
+# parallel_sort_alignments
+# --------------------------------------------------------------------------- #
+
+
+def _aln(evalue, score, subject):
+    return Alignment(
+        query_id="q", subject_id=subject, q_start=0, q_end=10, s_start=0, s_end=10,
+        score=score, evalue=evalue, bits=float(score),
+    )
+
+
+@st.composite
+def alignment_lists(draw):
+    n = draw(st.integers(min_value=0, max_value=60))
+    # Small value pools force heavy duplicate/skew cases.
+    evalues = draw(
+        st.lists(
+            st.sampled_from([1e-20, 1e-9, 1e-5, 0.1, 1.0]), min_size=n, max_size=n
+        )
+    )
+    scores = draw(
+        st.lists(st.integers(min_value=10, max_value=14), min_size=n, max_size=n)
+    )
+    return [
+        _aln(e, s, f"s{i % 3}") for i, (e, s) in enumerate(zip(evalues, scores))
+    ]
+
+
+@given(alignment_lists(), st.integers(min_value=1, max_value=8))
+@settings(max_examples=60, deadline=None)
+def test_sort_threads_equal_serial(alns, num_tasks):
+    serial, _ = parallel_sort_alignments(alns, num_tasks=num_tasks)
+    threaded, _ = parallel_sort_alignments(alns, num_tasks=num_tasks, executor="threads")
+    assert canonical(threaded) == canonical(serial)
+    assert [a.sort_key() for a in serial] == sorted(a.sort_key() for a in alns)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_sort_processes_equal_serial(seed):
+    rng = np.random.default_rng(seed)
+    alns = [
+        _aln(float(rng.uniform(1e-20, 2.0)), int(rng.integers(10, 200)), f"s{i % 4}")
+        for i in range(80)
+    ]
+    serial, _ = parallel_sort_alignments(alns, num_tasks=5)
+    proc, _ = parallel_sort_alignments(alns, num_tasks=5, executor="processes")
+    assert canonical(proc) == canonical(serial)
