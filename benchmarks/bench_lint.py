@@ -1,0 +1,52 @@
+"""Benchmark: orionlint wall time over the full src/ tree.
+
+Not a paper artifact — this tracks the static-analysis subsystem's cost in
+the bench trajectory so the lint gate stays cheap enough to run on every CI
+push. The run analyzes the real ``src/`` tree with the full default rule
+set, exactly what ``python -m repro.analysis src`` does.
+
+Shape criteria: the tree stays clean (suppressions aside), every default
+rule participates, and a full pass stays comfortably under interactive
+latency (seconds, not minutes) — orionlint parses each file once, so cost
+should scale linearly with tree size.
+"""
+
+from pathlib import Path
+
+from benchmarks.conftest import run_once
+from repro.analysis.engine import analyze_paths
+from repro.analysis.findings import active
+from repro.analysis.rules import default_rules
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: A full-tree pass must stay interactive; CI budgets depend on it.
+MAX_WALL_SECONDS = 30.0
+
+
+def test_orionlint_full_tree(benchmark):
+    src = REPO_ROOT / "src"
+    files = [p for p in src.rglob("*.py") if "__pycache__" not in p.parts]
+
+    def experiment():
+        rules = default_rules()
+        findings = analyze_paths([str(src)], rules)
+        return {
+            "files": len(files),
+            "rules": len(rules),
+            "findings_total": len(findings),
+            "findings_active": len(active(findings)),
+            "findings_suppressed": len(findings) - len(active(findings)),
+        }
+
+    out = run_once(benchmark, experiment)
+    benchmark.extra_info.update(out)
+    wall = benchmark.stats.stats.max
+    print(
+        f"\norionlint over {out['files']} files with {out['rules']} rules: "
+        f"{wall:.3f}s, {out['findings_active']} active / "
+        f"{out['findings_suppressed']} suppressed finding(s)"
+    )
+    assert out["files"] >= 50, "src tree unexpectedly small"
+    assert out["findings_active"] == 0, "src tree must stay orionlint-clean"
+    assert wall < MAX_WALL_SECONDS

@@ -1,0 +1,83 @@
+"""``python -m repro.analysis`` — the orionlint command line.
+
+Exit codes: 0 clean (suppressed findings allowed), 1 findings present,
+2 usage error. CI runs ``python -m repro.analysis src`` and the test suite
+asserts the repo stays clean, so every PR is checked against the MapReduce
+invariants (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.engine import analyze_paths, select_rules
+from repro.analysis.findings import active
+from repro.analysis.reporter import render_json, render_text
+from repro.analysis.rules import default_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description="orionlint: static invariant checks for the MapReduce layer.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        default="",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="include suppressed findings in the text report",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule set with the invariant each one guards",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.rule_id} [{rule.severity.value}] {rule.title}")
+            print(f"    invariant: {rule.invariant}")
+        return 0
+
+    wanted = [r.strip() for r in args.rules.split(",") if r.strip()]
+    try:
+        rules = select_rules(rules, wanted)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    findings = analyze_paths(args.paths, rules)
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings, show_suppressed=args.show_suppressed))
+    return 1 if active(findings) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

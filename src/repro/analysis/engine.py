@@ -1,0 +1,178 @@
+"""orionlint rule engine: parse files, run rules, apply suppressions.
+
+The engine owns everything rule-independent: walking paths, parsing each
+file once into an AST, collecting ``# orionlint: disable=...`` comments, and
+stamping suppressions onto the findings rules emit. Rules themselves are
+small classes with a single :meth:`Rule.check` hook (see
+:mod:`repro.analysis.rules`).
+
+Suppression syntax
+------------------
+``# orionlint: disable=ORL003`` on the reported line suppresses that rule
+for that line only; ``# orionlint: disable=ORL003,ORL004`` suppresses
+several; ``# orionlint: disable-file=ORL003`` anywhere in the file
+suppresses the rule for the whole file. ``all`` matches every rule.
+Suppressed findings are still collected (and visible with ``--show-
+suppressed``) — they just do not fail the run.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from repro.analysis.findings import Finding, Severity
+
+#: Matches one suppression comment; group 1 is the scope, group 2 the rules.
+_SUPPRESS_RE = re.compile(
+    r"#\s*orionlint:\s*(disable|disable-file)\s*=\s*([A-Za-z0-9_,\s]+)"
+)
+
+#: Rule id reserved for files the engine itself cannot parse.
+PARSE_RULE_ID = "ORL000"
+
+
+@dataclass
+class FileContext:
+    """Everything rules need about one source file."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    #: line number -> rule ids suppressed on that line ("all" wildcard kept).
+    line_suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    #: rule ids suppressed for the whole file.
+    file_suppressions: Set[str] = field(default_factory=set)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        for pool in (self.file_suppressions, self.line_suppressions.get(line, set())):
+            if rule in pool or "all" in pool:
+                return True
+        return False
+
+
+def parse_suppressions(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Collect line- and file-level suppressions from comments.
+
+    A plain text scan (not tokenize) keeps this robust on files that do not
+    parse; false positives require the literal marker ``# orionlint:``
+    inside a string, which the test fixtures deliberately avoid.
+    """
+    per_line: Dict[int, Set[str]] = {}
+    whole_file: Set[str] = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        for match in _SUPPRESS_RE.finditer(text):
+            scope = match.group(1)
+            rules = {r.strip() for r in match.group(2).split(",") if r.strip()}
+            if scope == "disable-file":
+                whole_file |= rules
+            else:
+                per_line.setdefault(lineno, set()).update(rules)
+    return per_line, whole_file
+
+
+class Rule:
+    """Base class for orionlint rules.
+
+    Subclasses set ``rule_id``, ``title``, ``severity`` and the
+    ``invariant`` they protect (surfaced by ``--list-rules`` and DESIGN.md),
+    and implement :meth:`check` yielding ``(line, col, message)`` triples.
+    """
+
+    rule_id: str = "ORL999"
+    title: str = ""
+    severity: Severity = Severity.WARNING
+    #: One line linking the rule to the MapReduce invariant it guards.
+    invariant: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
+        raise NotImplementedError
+
+    def findings(self, ctx: FileContext) -> Iterator[Finding]:
+        for line, col, message in self.check(ctx):
+            yield Finding(
+                path=ctx.path,
+                line=line,
+                col=col,
+                rule=self.rule_id,
+                severity=self.severity,
+                message=message,
+                suppressed=ctx.is_suppressed(self.rule_id, line),
+            )
+
+
+def _iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(d for d in dirs if d != "__pycache__")
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        yield os.path.join(root, name)
+        else:
+            yield path
+
+
+def analyze_source(
+    source: str, path: str, rules: Sequence[Rule]
+) -> List[Finding]:
+    """Run ``rules`` over one in-memory source file."""
+    per_line, whole_file = parse_suppressions(source)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule=PARSE_RULE_ID,
+                severity=Severity.ERROR,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(
+        path=path,
+        source=source,
+        tree=tree,
+        line_suppressions=per_line,
+        file_suppressions=whole_file,
+    )
+    found: List[Finding] = []
+    for rule in rules:
+        found.extend(rule.findings(ctx))
+    return sorted(found)
+
+
+def analyze_paths(
+    paths: Sequence[str], rules: Sequence[Rule]
+) -> List[Finding]:
+    """Run ``rules`` over every ``*.py`` file under ``paths`` (files or
+    directories), returning findings sorted by location."""
+    found: List[Finding] = []
+    for filename in _iter_python_files(paths):
+        with open(filename, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        found.extend(analyze_source(source, filename, rules))
+    return sorted(found)
+
+
+def select_rules(
+    rules: Iterable[Rule], only: Sequence[str] = ()
+) -> List[Rule]:
+    """Filter a rule set down to the requested ids (empty = all)."""
+    pool = list(rules)
+    if not only:
+        return pool
+    wanted = set(only)
+    known = {r.rule_id for r in pool}
+    unknown = wanted - known
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(known))}"
+        )
+    return [r for r in pool if r.rule_id in wanted]

@@ -1,0 +1,49 @@
+"""The orionlint rule set.
+
+Each rule guards one statically checkable invariant of the MapReduce layer
+(see DESIGN.md's "Static analysis" section for the invariant → rule map).
+``DEFAULT_RULES`` is the set ``python -m repro.analysis`` runs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.engine import Rule
+from repro.analysis.rules.determinism_rules import (
+    UnorderedIterationRule,
+    UnseededRandomnessRule,
+)
+from repro.analysis.rules.hygiene_rules import (
+    BareExceptRule,
+    LiteralMeasurementRule,
+    MutableDefaultRule,
+)
+from repro.analysis.rules.mapreduce_rules import (
+    TaskCallableMutationRule,
+    TaskCallablePicklableRule,
+)
+
+__all__ = [
+    "BareExceptRule",
+    "LiteralMeasurementRule",
+    "MutableDefaultRule",
+    "TaskCallableMutationRule",
+    "TaskCallablePicklableRule",
+    "UnorderedIterationRule",
+    "UnseededRandomnessRule",
+    "default_rules",
+]
+
+
+def default_rules() -> List[Rule]:
+    """A fresh instance of every built-in rule, in rule-id order."""
+    return [
+        TaskCallablePicklableRule(),
+        TaskCallableMutationRule(),
+        UnseededRandomnessRule(),
+        UnorderedIterationRule(),
+        MutableDefaultRule(),
+        BareExceptRule(),
+        LiteralMeasurementRule(),
+    ]

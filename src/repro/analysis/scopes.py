@@ -1,0 +1,200 @@
+"""Lightweight scope analysis for the task-callable rules.
+
+Just enough symbol-table machinery to answer the two questions ORL001 and
+ORL002 ask: *is this name a module-level callable?* and *does this function
+mutate names it does not own?* — without pulling in ``symtable`` (whose
+API revolves around compiled code objects, not AST nodes).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Set, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Method names that mutate their receiver in place. Calling one of these on
+#: a captured or global name from a task callable is shared-state mutation.
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "sort",
+        "reverse",
+        "appendleft",
+        "extendleft",
+        "popleft",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One shared-state mutation inside a function body."""
+
+    line: int
+    col: int
+    name: str
+    how: str  # human-readable description of the mutation shape
+
+
+def _arg_names(args: ast.arguments) -> Iterator[str]:
+    for group in (args.posonlyargs, args.args, args.kwonlyargs):
+        for arg in group:
+            yield arg.arg
+    if args.vararg is not None:
+        yield args.vararg.arg
+    if args.kwarg is not None:
+        yield args.kwarg.arg
+
+
+def local_names(fn: FunctionNode) -> Set[str]:
+    """Names bound in ``fn``'s own scope: parameters, assignment targets,
+    loop/with/except targets, comprehension targets, imports, nested defs.
+
+    Does not descend into nested function bodies (their locals are their
+    own); ``global``/``nonlocal`` declarations *remove* a name from the
+    local set — assigning it mutates shared state by definition.
+    """
+    names: Set[str] = set(_arg_names(fn.args))
+    declared_shared: Set[str] = set()
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                names.add(child.name)
+                continue  # nested scope: its body binds nothing here
+            if isinstance(child, ast.ClassDef):
+                names.add(child.name)
+                continue
+            if isinstance(child, ast.Lambda):
+                continue
+            if isinstance(child, (ast.Global, ast.Nonlocal)):
+                declared_shared.update(child.names)
+            elif isinstance(child, ast.Name) and isinstance(child.ctx, ast.Store):
+                names.add(child.id)
+            elif isinstance(child, (ast.Import, ast.ImportFrom)):
+                for alias in child.names:
+                    names.add((alias.asname or alias.name).split(".")[0])
+            elif isinstance(child, ast.ExceptHandler) and child.name:
+                names.add(child.name)
+            elif isinstance(child, ast.comprehension):
+                # Comprehension targets live in a sub-scope; close enough to
+                # treat them as locals for mutation analysis.
+                for name_node in ast.walk(child.target):
+                    if isinstance(name_node, ast.Name):
+                        names.add(name_node.id)
+            visit(child)
+
+    visit(fn)
+    return names - declared_shared
+
+
+def find_shared_mutations(fn: FunctionNode) -> List[Mutation]:
+    """Mutations of names ``fn`` does not own (captured or global).
+
+    Detected shapes: assignment/augmented assignment through a declared
+    ``global``/``nonlocal`` name, item or attribute assignment on a foreign
+    name (``shared[k] = v``, ``shared.field = v``), and in-place mutating
+    method calls on a foreign name (``shared.append(v)``).
+    """
+    owned = local_names(fn)
+    declared: Set[str] = set()
+
+    def collect_declared(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # nested scopes declare for themselves
+            if isinstance(child, (ast.Global, ast.Nonlocal)):
+                declared.update(child.names)
+            collect_declared(child)
+
+    collect_declared(fn)
+
+    mutations: List[Mutation] = []
+
+    def foreign(name: str) -> bool:
+        return name not in owned
+
+    def scan(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # A nested helper mutating our locals is internal to the
+                # task; only the task's own scope boundary matters here.
+                continue
+            if isinstance(child, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    child.targets if isinstance(child, ast.Assign) else [child.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name) and target.id in declared:
+                        mutations.append(
+                            Mutation(
+                                child.lineno,
+                                child.col_offset,
+                                target.id,
+                                "assignment through global/nonlocal",
+                            )
+                        )
+                    elif isinstance(
+                        target, (ast.Subscript, ast.Attribute)
+                    ) and isinstance(target.value, ast.Name):
+                        base = target.value.id
+                        if foreign(base):
+                            shape = (
+                                "item assignment"
+                                if isinstance(target, ast.Subscript)
+                                else "attribute assignment"
+                            )
+                            mutations.append(
+                                Mutation(
+                                    child.lineno,
+                                    child.col_offset,
+                                    base,
+                                    f"{shape} on captured/global name",
+                                )
+                            )
+            elif isinstance(child, ast.Call):
+                func = child.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in MUTATING_METHODS
+                    and isinstance(func.value, ast.Name)
+                    and foreign(func.value.id)
+                ):
+                    mutations.append(
+                        Mutation(
+                            child.lineno,
+                            child.col_offset,
+                            func.value.id,
+                            f".{func.attr}() on captured/global name",
+                        )
+                    )
+            scan(child)
+
+    scan(fn)
+    return mutations
+
+
+def module_callables(tree: ast.Module) -> Dict[str, ast.AST]:
+    """Module-level name -> def node for functions, classes and lambda
+    assignments (the names a task-callable reference may resolve to)."""
+    table: Dict[str, ast.AST] = {}
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            table[node.name] = node
+        elif isinstance(node, ast.Assign) and isinstance(node.value, ast.Lambda):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    table[target.id] = node.value
+    return table

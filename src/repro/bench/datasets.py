@@ -27,7 +27,7 @@ alignment-processing variation of the actual search.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.cluster.hardware import CacheModel, DPMemoryModel, ScanCostModel

@@ -11,7 +11,7 @@ speedup curve from schedule simulation at each core count.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.bench.datasets import FIG9_LENGTHS, DatasetSpec, drosophila_like, human_query_set
 from repro.bench.recorder import ExperimentReport

@@ -17,9 +17,9 @@ enormous database. The scale map preserves both regimes (see
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List
 
-from repro.bench.datasets import DatasetSpec, human_query, mouse_like, nt_like
+from repro.bench.datasets import human_query, mouse_like, nt_like
 from repro.bench.recorder import ExperimentReport
 from repro.cluster.topology import ClusterSpec
 from repro.core.orion import OrionSearch

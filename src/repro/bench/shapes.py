@@ -9,7 +9,7 @@ the benchmark suite and EXPERIMENTS.md generation.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -10,7 +10,7 @@ stays a faithful implementation of the paper's Section II-B pipeline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -324,7 +324,9 @@ def _dedupe(alignments: List[Alignment]) -> List[Alignment]:
         prev = seen.get(key)
         if prev is None or aln.score > prev.score:
             seen[key] = aln
-    return list(seen.values())
+    # First-seen order IS the spec here: the caller feeds alignments ranked
+    # by descending score, and report order must keep that ranking.
+    return list(seen.values())  # orionlint: disable=ORL004
 
 
 def rescore_alignment(

@@ -14,7 +14,7 @@ Alignment paths are stored as ``uint8`` op arrays:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import List, Optional, Tuple
 
 import numpy as np

@@ -17,7 +17,7 @@ from typing import List
 
 import numpy as np
 
-from repro.blast.hsp import MINUS_STRAND, OP_DIAG, OP_QGAP, OP_SGAP, Alignment
+from repro.blast.hsp import MINUS_STRAND, OP_DIAG, OP_QGAP, Alignment
 from repro.sequence.alphabet import decode
 
 #: Residues per printed block (NCBI default).

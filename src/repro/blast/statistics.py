@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import ceil, exp, gcd, log
-from typing import Optional, Tuple
 
 import numpy as np
 from scipy.optimize import brentq

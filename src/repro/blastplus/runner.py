@@ -11,14 +11,12 @@ and one node is the ceiling, which is what Fig. 10 shows against Orion.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
-
-import numpy as np
+from typing import List, Optional
 
 from repro.blast.engine import BlastEngine
 from repro.blast.hsp import Alignment
 from repro.blast.params import BlastParams
-from repro.blastplus.splitter import QueryChunk, merge_chunk_alignments, split_query
+from repro.blastplus.splitter import merge_chunk_alignments, split_query
 from repro.cluster.hardware import CacheModel, ScanCostModel
 from repro.cluster.simulator import Schedule, simulate_phases
 from repro.cluster.tasks import SimTask

@@ -11,7 +11,7 @@ module implements exactly that trade-off so benchmarks can show it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.blast.hsp import Alignment
 from repro.sequence.records import SequenceRecord

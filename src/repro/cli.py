@@ -24,7 +24,6 @@ from typing import List, Optional
 
 from repro.blast.engine import BlastEngine
 from repro.blast.formatter import format_tabular
-from repro.blast.pairwise import format_report
 from repro.blast.params import BlastParams
 from repro.core.orion import OrionSearch
 from repro.core.overlap import overlap_length
@@ -93,16 +92,32 @@ def _cmd_search(args: argparse.Namespace) -> int:
             res = BlastEngine(params).search(query, db, strands=args.strands)
             alignments = res.alignments
         elif args.mode == "orion":
+            executor = args.executor
+            sanitizer = None
+            if args.sanitize:
+                from repro.analysis.sanitizer import SanitizerExecutor
+
+                sanitizer = SanitizerExecutor(on_mutation="record")
+                executor = sanitizer
             orion = OrionSearch(
                 database=db,
                 params=params,
                 num_shards=args.shards,
                 fragment_length=args.fragment_length,
                 strands=args.strands,
-                executor=args.executor,
+                executor=executor,
                 num_workers=args.workers,
             )
             alignments = orion.run(query).alignments
+            if sanitizer is not None:
+                for mutation in sanitizer.reports:
+                    print(f"sanitizer: {mutation}", file=sys.stderr)
+                if sanitizer.reports:
+                    return 3
+                print(
+                    "sanitizer: no cross-task shared-state mutation detected",
+                    file=sys.stderr,
+                )
         else:  # mpiblast
             from repro.cluster.topology import ClusterSpec
 
@@ -220,6 +235,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker count for --executor threads/processes (default: "
         "4 threads, or one process per core)",
+    )
+    p.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run the MapReduce job under the race sanitizer instead of the "
+        "selected executor: detects cross-task shared-state mutation "
+        "(exit 3 if any is found)",
     )
     p.add_argument("--outfmt", choices=("tabular", "pairwise"), default="tabular")
     p.add_argument("--evalue", type=float, default=None)

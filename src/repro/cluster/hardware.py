@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.util.validation import check_nonnegative, check_positive
+from repro.util.validation import check_positive
 
 
 class OutOfMemoryError(RuntimeError):

@@ -25,7 +25,6 @@ import numpy as np
 from repro.cluster.policies import order_tasks
 from repro.cluster.tasks import SimTask
 from repro.cluster.topology import ClusterSpec, ExecutionProfile
-from repro.mapreduce.types import TaskKind
 
 
 @dataclass(frozen=True)

@@ -145,7 +145,9 @@ def _cluster(items: List[FragmentAlignment], tol: int) -> List[List[int]]:
     groups: dict = {}
     for i in range(n):
         groups.setdefault(find(i), []).append(i)
-    return list(groups.values())
+    # Clusters ordered by their smallest member, explicitly: the root index
+    # is union-order dependent, so it must not drive the output order.
+    return sorted(groups.values(), key=lambda g: g[0])
 
 
 def _research_cluster(

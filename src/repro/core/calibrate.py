@@ -10,7 +10,7 @@ winner per (database, query-length-bucket).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.topology import ClusterSpec

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.blast.engine import BlastEngine
-from repro.blast.hsp import Alignment, MINUS_STRAND, PLUS_STRAND
+from repro.blast.hsp import Alignment, PLUS_STRAND
 from repro.blast.params import BlastParams
 from repro.blast.statistics import SearchSpace
 from repro.cluster.hardware import CacheModel, ScanCostModel

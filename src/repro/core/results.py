@@ -8,8 +8,8 @@ partial flags. The reduce phase consumes them; :class:`OrionResult` is what
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 
@@ -111,8 +111,6 @@ class OrionResult:
         """
         if factor <= 0:
             raise ValueError(f"factor must be positive, got {factor}")
-        from dataclasses import replace as _replace
-
         records = [
             WorkUnitRecord(
                 unit=r.unit,

@@ -11,9 +11,7 @@ already globally ordered.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple, Union
-
-import numpy as np
+from typing import List, Sequence, Tuple, Union
 
 from repro.blast.hsp import Alignment
 from repro.mapreduce.job import MapReduceJob

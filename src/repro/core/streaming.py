@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from typing import Tuple
 
-import numpy as np
 
 from repro.blast.hsp import Alignment, cigar_to_path, path_to_cigar
 from repro.core.results import FragmentAlignment

@@ -9,7 +9,7 @@ in map-task order — deterministic end to end.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.mapreduce.partitioner import Partitioner, hash_partitioner

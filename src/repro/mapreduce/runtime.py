@@ -80,7 +80,7 @@ def _measure_map(
 def _measure_reduce(
     job: MapReduceJob,
     partition_index: int,
-    groups,
+    groups: Sequence[Tuple[Any, List[Any]]],
     executor: str = "serial",
     contended: bool = False,
 ) -> Tuple[List[Any], TaskRecord]:
@@ -101,7 +101,7 @@ def _measure_reduce(
 
 def _assemble(
     job: MapReduceJob,
-    partitions,
+    partitions: Sequence[Sequence[Tuple[Any, List[Any]]]],
     outputs: List[List[Any]],
     records: List[TaskRecord],
 ) -> JobResult:
@@ -221,7 +221,9 @@ def _process_map_task(split: InputSplit) -> Tuple[List[Tuple[Any, Any]], TaskRec
     return _measure_map(_WORKER_JOB, split, executor=ProcessExecutor.kind)
 
 
-def _process_reduce_task(item) -> Tuple[List[Any], TaskRecord]:
+def _process_reduce_task(
+    item: Tuple[int, Sequence[Tuple[Any, List[Any]]]]
+) -> Tuple[List[Any], TaskRecord]:
     assert _WORKER_JOB is not None, "worker initializer did not run"
     partition_index, groups = item
     return _measure_reduce(
@@ -332,7 +334,9 @@ def resolve_executor(
     ``None`` and ``"serial"`` give a :class:`SerialExecutor` (the default
     everywhere — its measurements feed the cluster simulator); ``"threads"``
     and ``"processes"`` build the corresponding pool with ``max_workers``
-    workers; an object with a ``run`` method passes through unchanged.
+    workers; ``"sanitizer"`` builds the race-detecting
+    :class:`repro.analysis.sanitizer.SanitizerExecutor`; an object with a
+    ``run`` method passes through unchanged.
     """
     if spec is None or spec == "serial":
         return SerialExecutor()
@@ -340,9 +344,15 @@ def resolve_executor(
         return ThreadedExecutor(max_workers=max_workers or 4)
     if spec == "processes":
         return ProcessExecutor(max_workers=max_workers)
+    if spec == "sanitizer":
+        # Imported lazily: repro.analysis depends on this module.
+        from repro.analysis.sanitizer import SanitizerExecutor
+
+        return SanitizerExecutor()
     if isinstance(spec, str):
         raise ValueError(
-            f"unknown executor {spec!r}; expected one of {EXECUTOR_KINDS}"
+            f"unknown executor {spec!r}; expected one of "
+            f"{EXECUTOR_KINDS + ('sanitizer',)}"
         )
     if hasattr(spec, "run"):
         return spec

@@ -11,8 +11,8 @@ distributed filesystem.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 #: Hadoop 1.x default block size (64 MB), in bytes.
 DEFAULT_BLOCK_SIZE = 64 * 1024 * 1024

@@ -11,7 +11,7 @@ Tests assert both modes produce identical final alignments.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Tuple, Union
+from typing import Callable, Iterable, Iterator, List, Tuple, Union
 
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.runtime import Executor, resolve_executor
@@ -39,7 +39,7 @@ class _LineMapper:
 
     mapper: StreamingMapper
 
-    def __call__(self, split: InputSplit):
+    def __call__(self, split: InputSplit) -> Iterator[Tuple[str, str]]:
         for line in split.payload:
             for out_line in self.mapper(line):
                 yield _split_kv(out_line.rstrip("\n"))
@@ -51,7 +51,7 @@ class _LineReducer:
 
     reducer: StreamingReducer
 
-    def __call__(self, key: str, values: List[str]):
+    def __call__(self, key: str, values: List[str]) -> Iterator[str]:
         yield from self.reducer(key, values)
 
 

@@ -16,7 +16,7 @@ Two modelled hardware effects apply (DESIGN.md §2):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -26,7 +26,7 @@ from repro.blast.hsp import Alignment
 from repro.blast.params import BlastParams
 from repro.cluster.hardware import CacheModel, DPMemoryModel, ScanCostModel
 from repro.cluster.topology import ClusterSpec, ExecutionProfile
-from repro.mpiblast.formatdb import DatabaseShard, shard_database
+from repro.mpiblast.formatdb import shard_database
 from repro.mpiblast.scheduler import MasterScheduler, WorkAssignment, makespan, per_worker_busy
 from repro.sequence.records import Database, SequenceRecord
 from repro.units import WorkUnit, WorkUnitRecord
@@ -53,7 +53,8 @@ class MpiBlastResult:
     total_measured_seconds: float
 
     def all_alignments(self) -> List[Alignment]:
-        return [a for alns in self.alignments.values() for a in alns]
+        """Every query's alignments, flattened in sorted query-id order."""
+        return [a for _, alns in sorted(self.alignments.items()) for a in alns]
 
     def unit_durations(self) -> np.ndarray:
         """Simulated per-work-unit durations (Table III's raw data)."""

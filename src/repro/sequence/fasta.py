@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import io
 import os
-from typing import Iterable, Iterator, List, TextIO, Tuple, Union
+from typing import Iterable, Iterator, List, TextIO, Union
 
 from repro.sequence.records import SequenceRecord
 

@@ -10,7 +10,7 @@ determines alignment scores and hence which alignments pass the E-value test.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

@@ -8,7 +8,7 @@ bookkeeping that BLAST statistics and the Orion overlap formula need
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np

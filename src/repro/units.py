@@ -75,6 +75,7 @@ class WorkUnitRecord:
             task_id=self.unit.task_id,
             kind=kind,
             duration=self.sim_seconds,
-            input_records=1,
+            # One work unit is one (fragment, shard) record by definition.
+            input_records=1,  # orionlint: disable=ORL007
             output_records=self.alignments,
         )

@@ -1,0 +1,139 @@
+"""Engine tests: suppressions, parse failures, path walking, repo cleanliness."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import (
+    PARSE_RULE_ID,
+    analyze_paths,
+    analyze_source,
+    parse_suppressions,
+    select_rules,
+)
+from repro.analysis.findings import Severity, active
+from repro.analysis.rules import default_rules
+from repro.analysis.rules.determinism_rules import UnorderedIterationRule
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def analyze(source, rules=None):
+    return analyze_source(
+        textwrap.dedent(source), "snippet.py", rules or [UnorderedIterationRule()]
+    )
+
+
+class TestSuppressions:
+    def test_line_suppression_marks_but_keeps_finding(self):
+        findings = analyze(
+            """\
+            ys = list(d.values())  # orionlint: disable=ORL004
+            """
+        )
+        assert len(findings) == 1
+        assert findings[0].suppressed
+        assert active(findings) == []
+
+    def test_suppression_on_other_line_does_not_apply(self):
+        findings = analyze(
+            """\
+            # orionlint: disable=ORL004
+            ys = list(d.values())
+            """
+        )
+        assert len(findings) == 1
+        assert not findings[0].suppressed
+
+    def test_file_level_suppression(self):
+        findings = analyze(
+            """\
+            # orionlint: disable-file=ORL004
+            ys = list(d.values())
+            zs = list(d.keys())
+            """
+        )
+        assert len(findings) == 2
+        assert all(f.suppressed for f in findings)
+
+    def test_all_wildcard(self):
+        findings = analyze(
+            """\
+            ys = list(d.values())  # orionlint: disable=all
+            """
+        )
+        assert findings[0].suppressed
+
+    def test_multiple_rules_in_one_comment(self):
+        per_line, whole_file = parse_suppressions(
+            "x = 1  # orionlint: disable=ORL004,ORL007\n"
+        )
+        assert per_line == {1: {"ORL004", "ORL007"}}
+        assert whole_file == set()
+
+    def test_trailing_justification_after_rule_list(self):
+        # Prose after the rule ids (set off by a non-identifier char) is fine.
+        findings = analyze(
+            """\
+            ys = list(d.values())  # orionlint: disable=ORL004 -- spec order
+            """
+        )
+        assert findings[0].suppressed
+
+    def test_other_rules_stay_active_on_suppressed_line(self):
+        findings = analyze(
+            """\
+            ys = list(d.values())  # orionlint: disable=ORL003
+            """
+        )
+        assert not findings[0].suppressed
+
+
+class TestParseFailure:
+    def test_syntax_error_becomes_orl000(self):
+        findings = analyze_source("def f(:\n", "bad.py", default_rules())
+        assert len(findings) == 1
+        assert findings[0].rule == PARSE_RULE_ID
+        assert findings[0].severity is Severity.ERROR
+        assert "does not parse" in findings[0].message
+
+
+class TestSelectRules:
+    def test_empty_selection_keeps_all(self):
+        rules = default_rules()
+        assert select_rules(rules) == rules
+
+    def test_subset_selected(self):
+        rules = select_rules(default_rules(), ["ORL004", "ORL005"])
+        assert sorted(r.rule_id for r in rules) == ["ORL004", "ORL005"]
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(ValueError, match="unknown rule id"):
+            select_rules(default_rules(), ["ORL999"])
+
+
+class TestAnalyzePaths:
+    def test_walks_directory_skipping_pycache(self, tmp_path):
+        (tmp_path / "a.py").write_text("ys = list(d.values())\n")
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "b.py").write_text("ys = list(d.values())\n")
+        findings = analyze_paths([str(tmp_path)], [UnorderedIterationRule()])
+        assert len(findings) == 1
+        assert findings[0].path == str(tmp_path / "a.py")
+
+    def test_findings_sorted_by_location(self, tmp_path):
+        (tmp_path / "b.py").write_text("ys = list(d.values())\n")
+        (tmp_path / "a.py").write_text("zs = list(d.values())\nws = list(d.keys())\n")
+        findings = analyze_paths([str(tmp_path)], [UnorderedIterationRule()])
+        locations = [(f.path, f.line) for f in findings]
+        assert locations == sorted(locations)
+
+
+class TestRepoIsClean:
+    def test_src_tree_has_no_active_findings(self):
+        """The acceptance gate: orionlint on src/ must stay clean."""
+        findings = analyze_paths([str(REPO_ROOT / "src")], default_rules())
+        offenders = [(f.path, f.line, f.rule, f.message) for f in active(findings)]
+        assert offenders == []

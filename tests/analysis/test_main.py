@@ -1,0 +1,94 @@
+"""CLI tests for ``python -m repro.analysis``: exit codes and output formats."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.__main__ import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+CLEAN_SOURCE = "def f(x):\n    return x + 1\n"
+BAD_SOURCE = "def f(xs=[]):\n    return xs\n"
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.py"
+    path.write_text(CLEAN_SOURCE)
+    return path
+
+
+@pytest.fixture
+def bad_file(tmp_path):
+    path = tmp_path / "bad.py"
+    path.write_text(BAD_SOURCE)
+    return path
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, clean_file, capsys):
+        assert main([str(clean_file)]) == 0
+        assert "orionlint: clean" in capsys.readouterr().out
+
+    def test_finding_exits_one_with_location(self, bad_file, capsys):
+        assert main([str(bad_file)]) == 1
+        out = capsys.readouterr().out
+        assert f"{bad_file}:1:" in out
+        assert "ORL005" in out and "error" in out
+
+    def test_unknown_rule_exits_two(self, bad_file, capsys):
+        assert main(["--rules", "NOPE", str(bad_file)]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_suppressed_finding_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "s.py"
+        path.write_text("def f(xs=[]):  # orionlint: disable=ORL005\n    return xs\n")
+        assert main([str(path)]) == 0
+
+
+class TestOptions:
+    def test_json_format(self, bad_file, capsys):
+        assert main(["--format", "json", str(bad_file)]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["total"] == 1
+        assert doc["findings"][0]["rule"] == "ORL005"
+
+    def test_rules_filter(self, tmp_path, capsys):
+        path = tmp_path / "two.py"
+        path.write_text(
+            "def f(xs=[]):\n"
+            "    try:\n"
+            "        return xs\n"
+            "    except:\n"
+            "        return None\n"
+        )
+        assert main(["--rules", "ORL006", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "ORL006" in out and "ORL005" not in out
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for i in range(1, 8):
+            assert f"ORL00{i}" in out
+        assert "invariant:" in out
+
+
+class TestSubprocessEntry:
+    def test_module_invocation_on_clean_file(self, clean_file):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", str(clean_file)],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=str(REPO_ROOT),
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "orionlint: clean" in proc.stdout

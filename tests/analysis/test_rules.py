@@ -1,0 +1,449 @@
+"""Per-rule fixture tests: each ORL rule on minimal positive/negative snippets."""
+
+import textwrap
+
+from repro.analysis.engine import analyze_source
+from repro.analysis.findings import Severity
+from repro.analysis.rules import default_rules
+from repro.analysis.rules.determinism_rules import (
+    UnorderedIterationRule,
+    UnseededRandomnessRule,
+)
+from repro.analysis.rules.hygiene_rules import (
+    BareExceptRule,
+    LiteralMeasurementRule,
+    MutableDefaultRule,
+)
+from repro.analysis.rules.mapreduce_rules import (
+    TaskCallableMutationRule,
+    TaskCallablePicklableRule,
+)
+
+
+def run_rule(rule, source):
+    return analyze_source(textwrap.dedent(source), "snippet.py", [rule])
+
+
+def rule_ids(findings):
+    return [f.rule for f in findings]
+
+
+class TestDefaultRuleSet:
+    def test_seven_rules_in_id_order(self):
+        ids = [r.rule_id for r in default_rules()]
+        assert ids == [f"ORL00{i}" for i in range(1, 8)]
+        assert ids == sorted(ids)
+
+    def test_every_rule_documents_its_invariant(self):
+        for rule in default_rules():
+            assert rule.invariant, rule.rule_id
+            assert rule.title, rule.rule_id
+
+
+class TestORL001Picklable:
+    def test_lambda_argument_flagged(self):
+        findings = run_rule(
+            TaskCallablePicklableRule(),
+            """\
+            from repro.mapreduce.job import MapReduceJob
+            job = MapReduceJob(mapper=lambda s: [], reducer=my_reducer)
+            """,
+        )
+        assert rule_ids(findings) == ["ORL001"]
+        assert findings[0].line == 2
+        assert findings[0].severity is Severity.ERROR
+        assert "lambda" in findings[0].message
+
+    def test_name_bound_to_lambda_flagged(self):
+        findings = run_rule(
+            TaskCallablePicklableRule(),
+            """\
+            from repro.mapreduce.job import MapReduceJob
+            m = lambda s: []
+            job = MapReduceJob(mapper=m, reducer=my_reducer)
+            """,
+        )
+        assert rule_ids(findings) == ["ORL001"]
+        assert findings[0].line == 3
+
+    def test_nested_function_flagged(self):
+        findings = run_rule(
+            TaskCallablePicklableRule(),
+            """\
+            from repro.mapreduce.job import MapReduceJob
+
+            def build():
+                def mapper(split):
+                    yield 1, 2
+                return MapReduceJob(mapper=mapper, reducer=my_reducer)
+            """,
+        )
+        assert rule_ids(findings) == ["ORL001"]
+        assert "nested function" in findings[0].message
+
+    def test_module_level_def_ok(self):
+        findings = run_rule(
+            TaskCallablePicklableRule(),
+            """\
+            from repro.mapreduce.job import MapReduceJob
+
+            def mapper(split):
+                yield 1, 2
+
+            def reducer(key, values):
+                yield key
+
+            job = MapReduceJob(mapper=mapper, reducer=reducer)
+            """,
+        )
+        assert findings == []
+
+    def test_callable_instance_ok(self):
+        # Instances pickle by state — the sanctioned way to parameterize.
+        findings = run_rule(
+            TaskCallablePicklableRule(),
+            """\
+            from repro.mapreduce.job import MapReduceJob
+            job = MapReduceJob(mapper=FragmentMapper(db), reducer=my_reducer)
+            """,
+        )
+        assert findings == []
+
+    def test_positional_arguments_also_checked(self):
+        findings = run_rule(
+            TaskCallablePicklableRule(),
+            """\
+            from repro.mapreduce.job import MapReduceJob
+            job = MapReduceJob(lambda s: [], lambda k, v: [])
+            """,
+        )
+        assert rule_ids(findings) == ["ORL001", "ORL001"]
+
+
+class TestORL002SharedMutation:
+    def test_global_dict_mutation_flagged(self):
+        findings = run_rule(
+            TaskCallableMutationRule(),
+            """\
+            from repro.mapreduce.job import MapReduceJob
+
+            STATS = {}
+
+            def mapper(split):
+                STATS["n"] = 1
+                yield 1, 2
+
+            job = MapReduceJob(mapper=mapper, reducer=my_reducer)
+            """,
+        )
+        assert rule_ids(findings) == ["ORL002"]
+        assert findings[0].line == 6
+        assert "STATS" in findings[0].message
+
+    def test_mutating_method_on_global_flagged(self):
+        findings = run_rule(
+            TaskCallableMutationRule(),
+            """\
+            from repro.mapreduce.job import MapReduceJob
+
+            SEEN = []
+
+            def reducer(key, values):
+                SEEN.append(key)
+                yield key
+
+            job = MapReduceJob(mapper=my_mapper, reducer=reducer)
+            """,
+        )
+        assert rule_ids(findings) == ["ORL002"]
+        assert "SEEN" in findings[0].message
+
+    def test_local_accumulation_ok(self):
+        findings = run_rule(
+            TaskCallableMutationRule(),
+            """\
+            from repro.mapreduce.job import MapReduceJob
+
+            def mapper(split):
+                acc = []
+                acc.append(split)
+                yield 1, acc
+
+            job = MapReduceJob(mapper=mapper, reducer=my_reducer)
+            """,
+        )
+        assert findings == []
+
+    def test_unreferenced_function_not_checked(self):
+        # Mutation is only an ORL002 problem in *task* callables.
+        findings = run_rule(
+            TaskCallableMutationRule(),
+            """\
+            CACHE = {}
+
+            def warm(key):
+                CACHE[key] = True
+            """,
+        )
+        assert findings == []
+
+
+class TestORL003UnseededRandomness:
+    def test_stdlib_random_call_flagged(self):
+        findings = run_rule(
+            UnseededRandomnessRule(),
+            """\
+            import random
+            x = random.random()
+            """,
+        )
+        assert rule_ids(findings) == ["ORL003"]
+        assert findings[0].severity is Severity.ERROR
+
+    def test_from_import_flagged(self):
+        findings = run_rule(
+            UnseededRandomnessRule(),
+            """\
+            from random import randint
+            x = randint(0, 10)
+            """,
+        )
+        assert rule_ids(findings) == ["ORL003"]
+
+    def test_numpy_legacy_global_flagged(self):
+        findings = run_rule(
+            UnseededRandomnessRule(),
+            """\
+            import numpy as np
+            x = np.random.rand(3)
+            """,
+        )
+        assert rule_ids(findings) == ["ORL003"]
+
+    def test_argless_default_rng_flagged(self):
+        findings = run_rule(
+            UnseededRandomnessRule(),
+            """\
+            import numpy as np
+            rng = np.random.default_rng()
+            """,
+        )
+        assert rule_ids(findings) == ["ORL003"]
+        assert "seed" in findings[0].message
+
+    def test_seeded_default_rng_ok(self):
+        findings = run_rule(
+            UnseededRandomnessRule(),
+            """\
+            import numpy as np
+            rng = np.random.default_rng(42)
+            x = rng.normal(size=10)
+            """,
+        )
+        assert findings == []
+
+    def test_unrelated_name_random_ok(self):
+        # A local module/object that happens to be called "random" but was
+        # never imported from stdlib random is not flagged.
+        findings = run_rule(
+            UnseededRandomnessRule(),
+            """\
+            x = rng.random()
+            """,
+        )
+        assert findings == []
+
+
+class TestORL004UnorderedIteration:
+    def test_for_over_set_literal_flagged(self):
+        findings = run_rule(
+            UnorderedIterationRule(),
+            """\
+            for x in {1, 2, 3}:
+                print(x)
+            """,
+        )
+        assert rule_ids(findings) == ["ORL004"]
+        assert findings[0].severity is Severity.WARNING
+
+    def test_for_over_set_call_flagged(self):
+        findings = run_rule(
+            UnorderedIterationRule(),
+            """\
+            for x in set(items):
+                out.append(x)
+            """,
+        )
+        assert rule_ids(findings) == ["ORL004"]
+
+    def test_listcomp_over_dict_values_flagged(self):
+        findings = run_rule(
+            UnorderedIterationRule(),
+            """\
+            ys = [v for v in d.values()]
+            """,
+        )
+        assert rule_ids(findings) == ["ORL004"]
+
+    def test_list_of_values_flagged(self):
+        findings = run_rule(
+            UnorderedIterationRule(),
+            """\
+            ys = list(d.values())
+            """,
+        )
+        assert rule_ids(findings) == ["ORL004"]
+
+    def test_sum_of_values_ok(self):
+        findings = run_rule(
+            UnorderedIterationRule(),
+            """\
+            total = sum(v for v in d.values())
+            """,
+        )
+        assert findings == []
+
+    def test_sorted_values_ok(self):
+        findings = run_rule(
+            UnorderedIterationRule(),
+            """\
+            ys = sorted(d.values())
+            zs = [k for k in sorted(d.keys())]
+            """,
+        )
+        assert findings == []
+
+    def test_setcomp_over_items_ok(self):
+        # Result is itself unordered; no order leaks.
+        findings = run_rule(
+            UnorderedIterationRule(),
+            """\
+            keys = {k for k, v in d.items()}
+            table = {k: v for k, v in d.items()}
+            """,
+        )
+        assert findings == []
+
+    def test_for_over_list_ok(self):
+        findings = run_rule(
+            UnorderedIterationRule(),
+            """\
+            for x in [1, 2, 3]:
+                print(x)
+            """,
+        )
+        assert findings == []
+
+
+class TestORL005MutableDefault:
+    def test_list_default_flagged(self):
+        findings = run_rule(
+            MutableDefaultRule(),
+            """\
+            def f(xs=[]):
+                return xs
+            """,
+        )
+        assert rule_ids(findings) == ["ORL005"]
+        assert "'f'" in findings[0].message
+
+    def test_dict_call_default_flagged(self):
+        findings = run_rule(
+            MutableDefaultRule(),
+            """\
+            def f(*, table=dict()):
+                return table
+            """,
+        )
+        assert rule_ids(findings) == ["ORL005"]
+
+    def test_none_default_ok(self):
+        findings = run_rule(
+            MutableDefaultRule(),
+            """\
+            def f(xs=None, n=3, name="x"):
+                return xs or []
+            """,
+        )
+        assert findings == []
+
+
+class TestORL006BareExcept:
+    def test_bare_except_flagged(self):
+        findings = run_rule(
+            BareExceptRule(),
+            """\
+            try:
+                work()
+            except:
+                handle()
+            """,
+        )
+        assert rule_ids(findings) == ["ORL006"]
+        assert "bare except" in findings[0].message
+
+    def test_swallowed_exception_flagged(self):
+        findings = run_rule(
+            BareExceptRule(),
+            """\
+            try:
+                work()
+            except ValueError:
+                pass
+            """,
+        )
+        assert rule_ids(findings) == ["ORL006"]
+        assert "swallows" in findings[0].message
+
+    def test_handled_exception_ok(self):
+        findings = run_rule(
+            BareExceptRule(),
+            """\
+            try:
+                work()
+            except ValueError as exc:
+                log(exc)
+                raise
+            """,
+        )
+        assert findings == []
+
+
+class TestORL007LiteralMeasurement:
+    def test_literal_records_keyword_flagged(self):
+        findings = run_rule(
+            LiteralMeasurementRule(),
+            """\
+            rec = TaskRecord(task_id="t", input_records=1, output_records=n)
+            """,
+        )
+        assert rule_ids(findings) == ["ORL007"]
+        assert "input_records" in findings[0].message
+
+    def test_count_keyword_on_record_type_flagged(self):
+        findings = run_rule(
+            LiteralMeasurementRule(),
+            """\
+            rec = WorkUnitRecord(hit_count=7)
+            """,
+        )
+        assert rule_ids(findings) == ["ORL007"]
+
+    def test_count_keyword_on_config_call_ok(self):
+        # Generation *configuration* is not a measurement (datasets.py).
+        findings = run_rule(
+            LiteralMeasurementRule(),
+            """\
+            spec = make_dataset(repeat_family_count=1)
+            """,
+        )
+        assert findings == []
+
+    def test_zero_and_variables_ok(self):
+        findings = run_rule(
+            LiteralMeasurementRule(),
+            """\
+            rec = TaskRecord(input_records=0, output_records=len(pairs))
+            """,
+        )
+        assert findings == []

@@ -83,6 +83,19 @@ class TestCluster:
         ]
         assert len(_cluster(items, tol=60)) == 1
 
+    def test_groups_ordered_by_smallest_member(self):
+        """Regression (ORL004 fix): cluster order is pinned to the smallest
+        member index, independent of union-find root choice."""
+        items = [
+            frag(mk(1000, 1100, 1000, 1100)),
+            frag(mk(0, 100, 0, 100)),
+            frag(mk(1010, 1110, 1010, 1110)),
+            frag(mk(5, 105, 5, 105)),
+        ]
+        groups = _cluster(items, tol=60)
+        assert groups == [[0, 2], [1, 3]]
+        assert [g[0] for g in groups] == sorted(g[0] for g in groups)
+
 
 class TestAggregateResearchMode:
     def _context(self, engine):

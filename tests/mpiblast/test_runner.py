@@ -36,6 +36,32 @@ class TestCorrectness:
         assert mpi_result.makespan_seconds > 0
         assert mpi_result.worker_busy_seconds.sum() > 0
 
+    def test_all_alignments_sorted_by_query_id(self):
+        """Regression (ORL004 fix): flattening must follow sorted query-id
+        order, not the alignments dict's incidental insertion order."""
+        import numpy as np
+
+        from repro.blast.hsp import Alignment
+        from repro.mpiblast.runner import MpiBlastResult
+
+        def aln(qid):
+            return Alignment(
+                query_id=qid, subject_id="s", q_start=0, q_end=10,
+                s_start=0, s_end=10, score=5, evalue=1e-6, bits=1.0,
+            )
+
+        result = MpiBlastResult(
+            alignments={"q2": [aln("q2")], "q1": [aln("q1"), aln("q1")]},
+            records=[],
+            assignments=[],
+            cluster=ClusterSpec(nodes=1),
+            num_shards=1,
+            makespan_seconds=0.0,
+            worker_busy_seconds=np.zeros(1),
+            total_measured_seconds=0.0,
+        )
+        assert [a.query_id for a in result.all_alignments()] == ["q1", "q1", "q2"]
+
 
 class TestMemoryModel:
     def test_long_query_rejected(self, small_db, query_with_truth):
