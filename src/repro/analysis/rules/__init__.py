@@ -23,11 +23,13 @@ from repro.analysis.rules.mapreduce_rules import (
     TaskCallableMutationRule,
     TaskCallablePicklableRule,
 )
+from repro.analysis.rules.resource_rules import SharedMemoryLifecycleRule
 
 __all__ = [
     "BareExceptRule",
     "LiteralMeasurementRule",
     "MutableDefaultRule",
+    "SharedMemoryLifecycleRule",
     "TaskCallableMutationRule",
     "TaskCallablePicklableRule",
     "UnorderedIterationRule",
@@ -46,4 +48,5 @@ def default_rules() -> List[Rule]:
         MutableDefaultRule(),
         BareExceptRule(),
         LiteralMeasurementRule(),
+        SharedMemoryLifecycleRule(),
     ]

@@ -1,0 +1,129 @@
+"""ORL008 — shared-memory segments must have a paired release path.
+
+A ``multiprocessing.shared_memory.SharedMemory`` object owns two distinct
+resources: the process-local mapping (released by ``close()``) and the
+named ``/dev/shm`` segment itself (released by ``unlink()``). Neither is
+tied to garbage collection in any useful way — a code path that creates or
+attaches a segment and then raises leaks the mapping for the process
+lifetime and, on the create side, the segment for the *machine* lifetime.
+The shared-database plane (:mod:`repro.mapreduce.shm`) therefore funnels
+every raw ``SharedMemory`` call through helpers whose failure paths pair
+the call with ``close``/``unlink``; this rule keeps it that way.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from repro.analysis.engine import FileContext, Rule
+from repro.analysis.findings import Severity
+
+#: Method names that release a SharedMemory resource.
+_RELEASE_METHODS = ("close", "unlink")
+
+
+def _is_shared_memory_call(node: ast.AST) -> bool:
+    """Whether ``node`` is a call of ``SharedMemory(...)`` (any spelling)."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "SharedMemory"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "SharedMemory"
+    return False
+
+
+def _calls_release_method(nodes: List[ast.stmt]) -> bool:
+    """Whether any statement calls ``<something>.close()`` or ``.unlink()``."""
+    for stmt in nodes:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _RELEASE_METHODS
+            ):
+                return True
+    return False
+
+
+class SharedMemoryLifecycleRule(Rule):
+    """ORL008: SharedMemory create/attach needs a paired close/unlink.
+
+    A ``SharedMemory(...)`` call is accepted when it is the context
+    expression of a ``with`` statement, or when its enclosing function (or
+    module toplevel) contains a ``try``/``finally`` whose ``finally`` calls
+    ``.close()`` or ``.unlink()`` — the shapes under which an exception
+    between acquire and release cannot leak the segment. Anything else is
+    an unpaired acquisition.
+    """
+
+    rule_id = "ORL008"
+    title = "SharedMemory without paired close/unlink"
+    severity = Severity.ERROR
+    invariant = (
+        "every shared-memory segment acquired (create or attach) must have "
+        "a release path that runs on failure too, or /dev/shm leaks"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
+        yield from self._check_scope(ctx.tree.body)
+
+    def _check_scope(self, body: List[ast.stmt]) -> Iterator[Tuple[int, int, str]]:
+        """Check one function (or module) body, recursing into nested defs.
+
+        Pairing is judged per scope: a ``finally`` in a *caller* cannot
+        guard an acquisition made inside a function that returns the
+        segment, so each def is its own accounting unit.
+        """
+        with_guarded = self._with_context_calls(body)
+        has_release_finally = any(
+            isinstance(node, ast.Try) and _calls_release_method(node.finalbody)
+            for stmt in body
+            for node in self._walk_scope(stmt)
+        )
+        for stmt in body:
+            for node in self._walk_scope(stmt):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield from self._check_scope(node.body)
+                    continue
+                if not _is_shared_memory_call(node):
+                    continue
+                if id(node) in with_guarded or has_release_finally:
+                    continue
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "SharedMemory acquired without a paired close/unlink in "
+                    "a finally or context manager; use the "
+                    "repro.mapreduce.shm helpers or add a try/finally",
+                )
+
+    def _with_context_calls(self, body: List[ast.stmt]) -> Set[int]:
+        """ids of SharedMemory calls used directly as ``with`` contexts."""
+        guarded: Set[int] = set()
+        for stmt in body:
+            for node in self._walk_scope(stmt):
+                if isinstance(node, (ast.With, ast.AsyncWith)):
+                    for item in node.items:
+                        if _is_shared_memory_call(item.context_expr):
+                            guarded.add(id(item.context_expr))
+        return guarded
+
+    @staticmethod
+    def _walk_scope(stmt: ast.stmt) -> Iterator[ast.AST]:
+        """Walk ``stmt`` without descending into function defs.
+
+        Defs are yielded (so :meth:`_check_scope` can recurse into them as
+        their own accounting unit) but never entered here — otherwise a
+        nested def's acquisitions would be double-counted in the outer
+        scope.
+        """
+        stack: List[ast.AST] = [stmt]
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))

@@ -63,6 +63,51 @@ def sorted_kmers(codes: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
     return keys[order], positions[order]
 
 
+def count_valid_kmers(codes: np.ndarray, k: int) -> int:
+    """How many valid k-mers :func:`sorted_kmers` would index for ``codes``.
+
+    Counting needs only the invalid-base prefix sums, not the packing, so a
+    sizing pass over a whole database (the shared-memory plane allocates
+    its k-mer segments exactly — see :mod:`repro.mapreduce.shm`) costs a
+    fraction of building the indexes themselves.
+    """
+    codes = np.asarray(codes, dtype=np.uint8)
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if k > 31:
+        raise ValueError(f"k={k} exceeds the 62-bit packing limit (31)")
+    n = codes.shape[0]
+    if n < k:
+        return 0
+    bad = codes >= ALPHABET_SIZE
+    if not bad.any():
+        return n - k + 1
+    bad_prefix = np.concatenate(([0], np.cumsum(bad, dtype=np.int64)))
+    return int(((bad_prefix[k:] - bad_prefix[:-k]) == 0).sum())
+
+
+def sorted_kmers_into(
+    codes: np.ndarray, k: int, keys_out: np.ndarray, pos_out: np.ndarray
+) -> None:
+    """Build one sequence's sorted k-mer index into caller-provided buffers.
+
+    ``keys_out``/``pos_out`` must be int64 arrays of exactly
+    ``count_valid_kmers(codes, k)`` entries — typically slices of a
+    shared-memory segment, so a whole database's indexes can be built one
+    sequence at a time with peak *extra* memory bounded by the largest
+    sequence, not the database.
+    """
+    keys, positions = sorted_kmers(codes, k)
+    if keys_out.shape != keys.shape or pos_out.shape != positions.shape:
+        raise ValueError(
+            f"output buffers have {keys_out.shape[0]}/{pos_out.shape[0]} "
+            f"entries; sequence indexes {keys.shape[0]} valid k-mers "
+            f"(size with count_valid_kmers)"
+        )
+    keys_out[:] = keys
+    pos_out[:] = positions
+
+
 def join_sorted(
     needle_keys: np.ndarray,
     needle_pos: np.ndarray,

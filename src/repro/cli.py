@@ -86,47 +86,58 @@ def _cmd_search(args: argparse.Namespace) -> int:
         return 2
     params = _params_from(args)
 
+    # One OrionSearch serves the whole query set: with a process-backed
+    # executor it holds the persistent worker pool and the shared-memory
+    # database plane, so per-query warmup is paid once, not per query.
+    orion = None
+    sanitizer = None
+    if args.mode == "orion":
+        executor = args.executor
+        if args.sanitize:
+            from repro.analysis.sanitizer import SanitizerExecutor
+
+            sanitizer = SanitizerExecutor(on_mutation="record")
+            executor = sanitizer
+        orion = OrionSearch(
+            database=db,
+            params=params,
+            num_shards=args.shards,
+            fragment_length=args.fragment_length,
+            strands=args.strands,
+            executor=executor,
+            num_workers=args.workers,
+            shared_db=args.shared_db,
+        )
+
     all_alignments = []
-    for query in queries:
-        if args.mode == "serial":
-            res = BlastEngine(params).search(query, db, strands=args.strands)
-            alignments = res.alignments
-        elif args.mode == "orion":
-            executor = args.executor
-            sanitizer = None
-            if args.sanitize:
-                from repro.analysis.sanitizer import SanitizerExecutor
+    try:
+        for query in queries:
+            if args.mode == "serial":
+                res = BlastEngine(params).search(query, db, strands=args.strands)
+                alignments = res.alignments
+            elif args.mode == "orion":
+                alignments = orion.run(query).alignments
+                if sanitizer is not None:
+                    for mutation in sanitizer.reports:
+                        print(f"sanitizer: {mutation}", file=sys.stderr)
+                    if sanitizer.reports:
+                        return 3
+                    print(
+                        "sanitizer: no cross-task shared-state mutation detected",
+                        file=sys.stderr,
+                    )
+            else:  # mpiblast
+                from repro.cluster.topology import ClusterSpec
 
-                sanitizer = SanitizerExecutor(on_mutation="record")
-                executor = sanitizer
-            orion = OrionSearch(
-                database=db,
-                params=params,
-                num_shards=args.shards,
-                fragment_length=args.fragment_length,
-                strands=args.strands,
-                executor=executor,
-                num_workers=args.workers,
-            )
-            alignments = orion.run(query).alignments
-            if sanitizer is not None:
-                for mutation in sanitizer.reports:
-                    print(f"sanitizer: {mutation}", file=sys.stderr)
-                if sanitizer.reports:
-                    return 3
-                print(
-                    "sanitizer: no cross-task shared-state mutation detected",
-                    file=sys.stderr,
-                )
-        else:  # mpiblast
-            from repro.cluster.topology import ClusterSpec
-
-            runner = MpiBlastRunner(params=params)
-            out = runner.run([query], db, args.shards, ClusterSpec(nodes=4))
-            alignments = out.alignments[query.seq_id]
-        if args.max_alignments:
-            alignments = alignments[: args.max_alignments]
-        all_alignments.append((query, alignments))
+                runner = MpiBlastRunner(params=params)
+                out = runner.run([query], db, args.shards, ClusterSpec(nodes=4))
+                alignments = out.alignments[query.seq_id]
+            if args.max_alignments:
+                alignments = alignments[: args.max_alignments]
+            all_alignments.append((query, alignments))
+    finally:
+        if orion is not None:
+            orion.close()
 
     for query, alignments in all_alignments:
         if args.outfmt == "tabular":
@@ -235,6 +246,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker count for --executor threads/processes (default: "
         "4 threads, or one process per core)",
+    )
+    p.add_argument(
+        "--shared-db",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="ship the database to process workers via one shared-memory "
+        "copy per machine (default: auto — on for --executor processes "
+        "when the platform supports it); --no-shared-db pickles a private "
+        "copy per worker instead",
     )
     p.add_argument(
         "--sanitize",

@@ -11,6 +11,8 @@ are small and uniform — the source of Orion's parallelism and load balance.
 
 from __future__ import annotations
 
+import hashlib
+import warnings
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -30,8 +32,15 @@ from repro.core.fragmenter import QueryFragment, fragment_query, suggest_fragmen
 from repro.core.overlap import overlap_length
 from repro.core.results import FragmentAlignment, OrionResult
 from repro.core.sortmr import parallel_sort_alignments
+from repro.mapreduce import shm as shm_mod
 from repro.mapreduce.job import MapReduceJob
-from repro.mapreduce.runtime import Executor, SerialExecutor, resolve_executor
+from repro.mapreduce.runtime import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    WorkerPool,
+    resolve_executor,
+)
 from repro.mapreduce.types import InputSplit, TaskKind
 from repro.mpiblast.formatdb import DatabaseShard, shard_database
 from repro.sequence.alphabet import reverse_complement
@@ -39,6 +48,36 @@ from repro.sequence.records import Database, SequenceRecord
 from repro.units import WorkUnit, WorkUnitRecord
 from repro.util.timers import Stopwatch
 from repro.util.validation import check_positive
+
+
+#: Per-process store of subject k-mer indexes, keyed by database fingerprint
+#: (so it survives pickling: every unpickled copy of the same search resolves
+#: to the same store). This is what keeps a persistent worker's caches warm
+#: across queries — each query ships a fresh job pickle, but the indexes the
+#: previous query built (or sliced out of the shared plane) are still here.
+#: Entries are built *lazily per shard*: a worker only ever indexes the
+#: sequences of shards its map tasks actually touch.
+_KMER_STORES: Dict[
+    Tuple[str, int, str], Dict[str, Tuple[np.ndarray, np.ndarray]]
+] = {}
+
+
+def _database_fingerprint(database: Database) -> str:
+    """A cheap stable identity for a database's content.
+
+    Hashes the name, each sequence's id and length, and a strided 64-base
+    sample of its codes — O(num_sequences) work, not O(total bases), yet two
+    databases that differ anywhere beyond a handful of point edits hash
+    apart (and id/length tables disambiguate the rest).
+    """
+    h = hashlib.sha1()
+    h.update(database.name.encode())
+    for rec in database:
+        h.update(rec.seq_id.encode())
+        h.update(str(len(rec)).encode())
+        codes = rec.codes
+        h.update(np.ascontiguousarray(codes[:: max(1, codes.shape[0] // 64)]).tobytes())
+    return h.hexdigest()
 
 
 @dataclass(frozen=True)
@@ -169,6 +208,23 @@ class OrionSearch:
     num_workers:
         Pool size for the ``"threads"``/``"processes"`` executors
         (``None`` = backend default: 4 threads, or one process per core).
+    shared_db:
+        Ship the database to process workers through a shared-memory data
+        plane (2-bit codes + prebuilt k-mer indexes, one copy per machine,
+        zero-copy worker views) instead of pickling a private copy into
+        every worker. ``None`` (default) enables it automatically for
+        process-backed executors when the platform supports it; ``True``
+        insists (degrading with a warning if shared memory is missing);
+        ``False`` forces the pickled path. Serial/threads backends read
+        the in-process arrays directly and ignore this. Call
+        :meth:`close` (or use the search as a context manager) to release
+        the segments promptly; an ``atexit`` backstop reclaims stragglers.
+    reuse_pool:
+        Keep one persistent worker pool alive across :meth:`run` /
+        :meth:`run_many` calls when the executor is process-backed
+        (default). Workers then keep attached database views and k-mer
+        caches warm between queries. ``False`` restores the old
+        pool-per-job behaviour.
     """
 
     def __init__(
@@ -192,6 +248,8 @@ class OrionSearch:
         use_streaming: bool = False,
         executor: Union[str, Executor, None] = "serial",
         num_workers: Optional[int] = None,
+        shared_db: Optional[bool] = None,
+        reuse_pool: bool = True,
     ) -> None:
         check_positive("num_shards", num_shards)
         check_positive("unit_scale", unit_scale)
@@ -205,6 +263,7 @@ class OrionSearch:
         self.database = database
         self.engine = BlastEngine(params)
         self.params = self.engine.params
+        self._num_shards = num_shards
         self.shards: List[DatabaseShard] = shard_database(database, num_shards)
         self.fragment_length = fragment_length
         self.cache_model = cache_model
@@ -222,7 +281,13 @@ class OrionSearch:
         self.sort_tasks = sort_tasks
         self.use_streaming = use_streaming
         self.executor: Executor = resolve_executor(executor, num_workers)
-        self._subject_kmers: Optional[Dict[str, Tuple[np.ndarray, np.ndarray]]] = None
+        self.shared_db = shared_db
+        self.reuse_pool = bool(reuse_pool)
+        self._pool: Optional[WorkerPool] = None
+        self._plane: Optional[shm_mod.SharedDatabasePlane] = None
+        self._shm_handle: Optional[shm_mod.SharedDatabaseHandle] = None
+        self._db_view: Optional[shm_mod.SharedDatabaseView] = None
+        self._db_key = (database.name, self.params.k, _database_fingerprint(database))
         if aggregation_mode not in ("research", "splice"):
             raise ValueError(
                 f"aggregation_mode must be 'research' or 'splice', got {aggregation_mode!r}"
@@ -238,40 +303,145 @@ class OrionSearch:
         )
         return overlap_length(self.engine.ka, self.params, space), space
 
-    def _subject_kmer_cache(self) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
-        """Per-database-sequence sorted k-mer indexes, built once and shared
-        by every (fragment, shard) map task — the flipped-join fast path."""
-        if self._subject_kmers is None:
-            from repro.blast.lookup import sorted_kmers
+    def _kmer_store(self) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+        """This process's subject k-mer index store for this database."""
+        return _KMER_STORES.setdefault(self._db_key, {})
 
-            self._subject_kmers = {
-                rec.seq_id: sorted_kmers(rec.codes, self.params.k)
-                for rec in self.database
-            }
-        return self._subject_kmers
+    def _kmer_cache_for_shard(
+        self, shard: DatabaseShard
+    ) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+        """Subject k-mer indexes covering ``shard``, built lazily.
+
+        Only sequences of shards a process actually maps are ever indexed
+        (the shard-scoped cache the many-query pool depends on). With a
+        shared plane attached the "build" is a handful of zero-copy array
+        slices; otherwise each missing sequence is indexed in-process. The
+        returned dict is the module-level store itself — a superset is fine
+        (the engine looks subjects up by id) and sharing it keeps indexes
+        warm across shards, queries and jobs.
+        """
+        store = self._kmer_store()
+        missing = [rec.seq_id for rec in shard.database if rec.seq_id not in store]
+        if missing:
+            if self._db_view is not None:
+                store.update(self._db_view.kmer_cache_for(missing))
+            else:
+                from repro.blast.lookup import sorted_kmers
+
+                for seq_id in missing:
+                    codes = self.database[seq_id].codes
+                    store[seq_id] = sorted_kmers(codes, self.params.k)
+        return store
 
     # ------------------------------------------------------------------ #
-    # process-pool support
+    # process-pool + shared-plane support
     # ------------------------------------------------------------------ #
+
+    def _shared_db_enabled(self) -> bool:
+        """Whether this search ships the database through the shared plane."""
+        if self.shared_db is False:
+            return False
+        if self.executor.kind != "processes":
+            return False  # in-process backends read self.database directly
+        if not shm_mod.HAVE_SHARED_MEMORY:  # pragma: no cover - platform
+            if self.shared_db:
+                warnings.warn(
+                    "shared_db requested but multiprocessing.shared_memory is "
+                    "unavailable; falling back to pickling the database",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            return False
+        return True
+
+    def _ensure_plane(self) -> None:
+        """Create the shared database plane on first (process-backed) use."""
+        if self._plane is not None or not self._shared_db_enabled():
+            return
+        try:
+            self._plane = shm_mod.SharedDatabasePlane.create(
+                self.database, self.params.k
+            )
+        except (OSError, shm_mod.SharedMemoryUnavailable) as exc:
+            warnings.warn(
+                f"could not build the shared database plane ({exc}); "
+                f"falling back to pickling the database per worker",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self.shared_db = False
+            return
+        self._shm_handle = self._plane.handle
+
+    def _mr_executor(self) -> Executor:
+        """The executor jobs actually run on.
+
+        A process-backed configuration with ``reuse_pool`` gets one
+        persistent :class:`WorkerPool` (created lazily, shut down by
+        :meth:`close`); everything else uses the configured executor as-is.
+        """
+        if self.reuse_pool and isinstance(self.executor, ProcessExecutor):
+            if self._pool is None:
+                self._pool = WorkerPool(
+                    max_workers=self.executor.max_workers,
+                    start_method=self.executor.start_method,
+                )
+            return self._pool
+        return self.executor
 
     def __getstate__(self):
-        """Pickle without the k-mer cache (workers rebuild it once via the
-        job setup hook — far cheaper than shipping it with every task) and
-        without the executor (workers run tasks, they never dispatch)."""
+        """Pickle for worker shipment: no executor/pool (workers run tasks,
+        they never dispatch), no plane object (the picklable handle travels
+        instead), and — when the plane is active — no database or shards:
+        workers rebuild both zero-copy from the attached plane view."""
         state = self.__dict__.copy()
-        state["_subject_kmers"] = None
         state["executor"] = None
+        state["_pool"] = None
+        state["_plane"] = None
+        state["_db_view"] = None
+        if self._shm_handle is not None:
+            state["database"] = None
+            state["shards"] = None
         return state
 
     def __setstate__(self, state):
         self.__dict__.update(state)
         if self.executor is None:
             self.executor = SerialExecutor()
+        if self.database is None and self._shm_handle is not None:
+            # One attachment per plane per process, kept warm across jobs.
+            view = shm_mod.attach_cached_view(self._shm_handle)
+            self._db_view = view
+            self.database = view.database()
+            self.shards = shard_database(self.database, self._num_shards)
 
-    def _warm_worker(self) -> None:
-        """Per-worker-process initializer: build the subject k-mer cache once
-        per process, before the first (fragment × shard) task runs."""
-        self._subject_kmer_cache()
+    def close(self) -> None:
+        """Release the worker pool and the shared plane (idempotent).
+
+        The next :meth:`run` transparently rebuilds both; use the search as
+        a context manager for prompt cleanup in many-query scripts.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown()
+        plane, self._plane = self._plane, None
+        self._shm_handle = None
+        if plane is not None:
+            plane.release()
+
+    def __enter__(self) -> "OrionSearch":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:  # orionlint: disable=ORL006
+            # Interpreter teardown: the shm/pool modules may already be
+            # gone; the atexit plane registry is the backstop then.
+            pass
 
     def _cache_factor(self, fragment_bases: int) -> float:
         if self.cache_model is None:
@@ -317,7 +487,7 @@ class OrionSearch:
         res = self.engine.search(
             fragment.record, shard.database,
             options=options, stats_space=space, strands=self.strands,
-            subject_kmer_cache=self._subject_kmer_cache(),
+            subject_kmer_cache=self._kmer_cache_for_shard(shard),
         )
         qlen = len(query)
         flen = fragment.length
@@ -373,12 +543,13 @@ class OrionSearch:
             frag_len = overlap + max(1, overlap)
         fragments = fragment_query(query, frag_len, overlap)
 
+        self._ensure_plane()
+        executor = self._mr_executor()
         job = MapReduceJob(
             mapper=_OrionMapper(self, query, space),
             reducer=_OrionReducer(self, query, space),
             num_reducers=self.num_reducers,
             name=f"orion/{query.seq_id}",
-            setup=self._warm_worker,
         )
         # Payloads carry the shard *index*, not the shard: process workers
         # hold the sharded database already (it ships once with the job), so
@@ -390,7 +561,7 @@ class OrionSearch:
             )
         ]
         mr_wall = Stopwatch().start()
-        mr = self.executor.run(job, splits)
+        mr = executor.run(job, splits)
         mapreduce_wall = mr_wall.stop()
 
         agg_stats = AggregationStats()
@@ -401,7 +572,7 @@ class OrionSearch:
             else:
                 aggregated.append(item)
         ordered, sort_seconds = parallel_sort_alignments(
-            aggregated, num_tasks=self.sort_tasks, executor=self.executor
+            aggregated, num_tasks=self.sort_tasks, executor=executor
         )
         sort_seconds = [d * self.time_scale for d in sort_seconds]
 
@@ -465,6 +636,13 @@ class OrionSearch:
         Work units from all queries form one pool — with a cluster given,
         each result carries its own schedule and
         :func:`simulate_query_set` offers the combined-job makespan.
+
+        With a process-backed executor the whole set runs on one persistent
+        worker pool (see ``reuse_pool``): workers stay alive between
+        queries, keeping their attached shared-database views and
+        shard-scoped k-mer caches warm, so per-query cost approaches pure
+        search time after the first query. Call :meth:`close` (or use the
+        search as a context manager) when the set is done.
         """
         results = {q.seq_id: self.run(q, cluster=None) for q in queries}
         if cluster is not None:

@@ -22,7 +22,16 @@ from repro.mapreduce.runtime import (
     ProcessExecutor,
     SerialExecutor,
     ThreadedExecutor,
+    WorkerPool,
     resolve_executor,
+)
+from repro.mapreduce.shm import (
+    HAVE_SHARED_MEMORY,
+    SharedDatabaseHandle,
+    SharedDatabasePlane,
+    SharedDatabaseView,
+    attach_cached_view,
+    attach_view,
 )
 from repro.mapreduce.storage import BlockStore, StoredFile
 from repro.mapreduce.streaming import run_streaming_job
@@ -41,7 +50,14 @@ __all__ = [
     "ProcessExecutor",
     "SerialExecutor",
     "ThreadedExecutor",
+    "WorkerPool",
     "resolve_executor",
+    "HAVE_SHARED_MEMORY",
+    "SharedDatabaseHandle",
+    "SharedDatabasePlane",
+    "SharedDatabaseView",
+    "attach_cached_view",
+    "attach_view",
     "BlockStore",
     "StoredFile",
     "run_streaming_job",

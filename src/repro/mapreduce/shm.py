@@ -1,0 +1,513 @@
+"""Zero-copy shared-memory data plane for process workers.
+
+The :class:`~repro.mapreduce.runtime.ProcessExecutor` ships the pickled
+database to *every* worker, so per-worker warmup memory and time scale with
+``num_workers`` — exactly the overhead the paper's fine-grained design must
+keep small (Section V). This module places the database's 2-bit sequence
+codes and its per-sequence sorted k-mer arrays into POSIX shared-memory
+segments (``multiprocessing.shared_memory``): one copy per machine, with
+workers attaching zero-copy NumPy views instead of unpickling a private
+copy.
+
+Lifecycle (create → attach → detach → unlink)
+---------------------------------------------
+* The *creator* process builds a :class:`SharedDatabasePlane` (segments +
+  a picklable :class:`SharedDatabaseHandle`). The plane is reference
+  counted: :meth:`~SharedDatabasePlane.acquire` /
+  :meth:`~SharedDatabasePlane.release` let several consumers (a search
+  object, a benchmark, a pool) share one plane; the segments are unlinked
+  when the count reaches zero.
+* *Workers* attach through :func:`attach_view` (or the per-process-cached
+  :func:`attach_cached_view`) and get a :class:`SharedDatabaseView`, whose
+  arrays alias the shared buffers. Attaching re-registers the name with the
+  process tree's (single, shared) resource tracker — an idempotent set-add,
+  balanced by the one unregister the creator's ``unlink`` performs.
+* Only the creator process ever unlinks. A module-level registry plus an
+  ``atexit`` hook destroys any plane the creator forgot to release, so
+  normal interpreter exit never leaks ``/dev/shm`` segments; if the creator
+  is killed outright, the stdlib resource tracker (which still holds the
+  creator-side registration) reclaims them.
+
+Every raw ``SharedMemory`` create/attach in this repository lives in this
+module's :func:`create_segment`/:func:`attach_segment` helpers, which pair
+the call with ``close``/``unlink`` on their failure paths — the invariant
+orionlint rule ORL008 enforces at every other call site.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # import would be cycle-free but is kept lazy at runtime
+    from repro.sequence.records import Database
+
+try:
+    from multiprocessing import shared_memory as _shm_module
+
+    HAVE_SHARED_MEMORY = True
+except ImportError:  # pragma: no cover - platform without POSIX shm
+    _shm_module = None  # type: ignore[assignment]
+    HAVE_SHARED_MEMORY = False
+
+
+class SharedMemoryUnavailable(RuntimeError):
+    """Raised when shared-memory segments cannot be used on this platform."""
+
+
+def _require_shm() -> None:
+    if not HAVE_SHARED_MEMORY:  # pragma: no cover - platform without shm
+        raise SharedMemoryUnavailable(
+            "multiprocessing.shared_memory is unavailable on this platform"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# segment helpers — the only raw SharedMemory call sites in the repo
+# --------------------------------------------------------------------------- #
+
+
+def create_segment(size: int, data: Optional[bytes] = None) -> "_shm_module.SharedMemory":
+    """Create one shared segment of at least ``size`` bytes (min 1).
+
+    ``data``, when given, is copied in before the segment is returned. If
+    anything fails after creation the segment is closed *and unlinked* in
+    the paired ``finally`` — a half-initialized segment must never outlive
+    this call.
+    """
+    _require_shm()
+    seg = _shm_module.SharedMemory(create=True, size=max(1, int(size)))
+    ok = False
+    try:
+        if data is not None:
+            seg.buf[: len(data)] = data
+        ok = True
+        return seg
+    finally:
+        if not ok:
+            seg.close()
+            seg.unlink()
+
+
+def attach_segment(name: str) -> "_shm_module.SharedMemory":
+    """Attach to an existing segment by name, without taking ownership.
+
+    The ``SharedMemory`` constructor registers the name with the resource
+    tracker for creators and attachers alike, but the tracker is a single
+    process shared by the whole tree and its cache is a *set* — an attach
+    re-registering the name is idempotent, balanced by the one unregister
+    the creator's ``unlink`` performs. Do **not** unregister here: that
+    would strip the shared registration, making later unregisters fail
+    and forfeiting the tracker's crash backstop (cf. bpo-38119).
+
+    The caller owns the paired ``close()`` (views close in their
+    ``finally``/``close`` paths; the creator additionally unlinks).
+    """
+    _require_shm()
+    return _shm_module.SharedMemory(name=name)  # orionlint: disable=ORL008
+
+
+def destroy_segment(seg: "_shm_module.SharedMemory") -> None:
+    """Close and unlink a segment this process created (idempotent)."""
+    try:
+        seg.close()
+    except BufferError:  # orionlint: disable=ORL006
+        # Live NumPy views still alias the buffer; the mapping stays until
+        # they die, but the name must still vanish from /dev/shm below.
+        pass
+    try:
+        seg.unlink()
+    except FileNotFoundError:
+        return  # already unlinked (idempotent release paths)
+
+
+def segment_exists(name: str) -> bool:
+    """Whether a segment with ``name`` is currently linked (test/leak probe)."""
+    _require_shm()
+    try:
+        seg = attach_segment(name)
+    except FileNotFoundError:
+        return False
+    seg.close()
+    return True
+
+
+def publish_bytes(data: bytes) -> "_shm_module.SharedMemory":
+    """Copy ``data`` into a fresh segment (caller owns close+unlink)."""
+    return create_segment(len(data), data)
+
+
+def read_bytes(name: str, size: int) -> bytes:
+    """Copy ``size`` bytes out of segment ``name``, then detach."""
+    seg = attach_segment(name)
+    try:
+        return bytes(seg.buf[:size])
+    finally:
+        seg.close()
+
+
+# --------------------------------------------------------------------------- #
+# the database plane
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class SharedDatabaseHandle:
+    """Picklable description of one shared database plane.
+
+    Workers receive this (a few hundred bytes plus the id strings) instead
+    of the pickled database, and attach with :func:`attach_view`. Offsets
+    are half-open prefix sums: sequence ``i``'s codes live at
+    ``codes[codes_offsets[i]:codes_offsets[i+1]]`` and its sorted k-mer
+    keys/positions at ``kmer_offsets[i]:kmer_offsets[i+1]`` of the two
+    k-mer segments.
+    """
+
+    plane_id: str
+    db_name: str
+    k: int
+    seq_ids: Tuple[str, ...]
+    descriptions: Tuple[str, ...]
+    codes_segment: str
+    codes_offsets: Tuple[int, ...]
+    kmer_keys_segment: str
+    kmer_positions_segment: str
+    kmer_offsets: Tuple[int, ...]
+
+    @property
+    def segment_names(self) -> Tuple[str, str, str]:
+        return (self.codes_segment, self.kmer_keys_segment, self.kmer_positions_segment)
+
+    @property
+    def total_codes(self) -> int:
+        return self.codes_offsets[-1]
+
+    @property
+    def total_kmers(self) -> int:
+        return self.kmer_offsets[-1]
+
+
+class SharedDatabaseView:
+    """Zero-copy view of a shared database plane.
+
+    ``database()`` rebuilds a :class:`~repro.sequence.records.Database`
+    whose record ``codes`` are read-only NumPy views into the shared codes
+    segment; ``sorted_kmers``/``kmer_cache_for`` expose the pre-built
+    per-sequence sorted k-mer indexes the same way. The view keeps its
+    segments attached for as long as it lives (workers keep one per plane
+    for their whole lifetime); :meth:`close` detaches explicitly.
+    """
+
+    def __init__(
+        self,
+        handle: SharedDatabaseHandle,
+        segments: Sequence["_shm_module.SharedMemory"],
+    ) -> None:
+        self.handle = handle
+        self._segments = list(segments)
+        codes_seg, keys_seg, pos_seg = self._segments
+        self._codes = _wrap_array(codes_seg, np.uint8, handle.total_codes)
+        self._keys = _wrap_array(keys_seg, np.int64, handle.total_kmers)
+        self._positions = _wrap_array(pos_seg, np.int64, handle.total_kmers)
+        self._index = {seq_id: i for i, seq_id in enumerate(handle.seq_ids)}
+        self._database: Optional["Database"] = None
+        self._closed = False
+
+    # -- zero-copy accessors ------------------------------------------- #
+
+    def codes(self, seq_id: str) -> np.ndarray:
+        """The 2-bit code array of one sequence (read-only view)."""
+        i = self._index[seq_id]
+        off = self.handle.codes_offsets
+        return self._codes[off[i] : off[i + 1]]
+
+    def sorted_kmers(self, seq_id: str) -> Tuple[np.ndarray, np.ndarray]:
+        """One sequence's sorted (keys, positions) k-mer index (views)."""
+        i = self._index[seq_id]
+        off = self.handle.kmer_offsets
+        return (
+            self._keys[off[i] : off[i + 1]],
+            self._positions[off[i] : off[i + 1]],
+        )
+
+    def kmer_cache_for(
+        self, seq_ids: Sequence[str]
+    ) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+        """A subject k-mer cache dict covering only ``seq_ids`` (views).
+
+        This is the shard-scoped building block: a worker calls it per
+        database shard its map tasks actually touch, paying a handful of
+        array slices instead of a full per-worker index rebuild.
+        """
+        return {seq_id: self.sorted_kmers(seq_id) for seq_id in seq_ids}
+
+    def database(self) -> "Database":
+        """The full database, rebuilt from shared codes (records are views)."""
+        if self._database is None:
+            from repro.sequence.records import Database, SequenceRecord
+
+            records = [
+                SequenceRecord(
+                    seq_id=seq_id,
+                    codes=self.codes(seq_id),
+                    description=self.handle.descriptions[i],
+                )
+                for i, seq_id in enumerate(self.handle.seq_ids)
+            ]
+            self._database = Database(records, name=self.handle.db_name)
+        return self._database
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Detach from the segments (the creator still owns unlinking)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._database = None
+        self._codes = self._keys = self._positions = np.empty(0, dtype=np.uint8)
+        for seg in self._segments:
+            try:
+                seg.close()
+            except BufferError:  # orionlint: disable=ORL006
+                # A caller still holds array views; their mapping stays
+                # valid and dies with the process — nothing to unlink here.
+                pass
+        self._segments = []
+
+
+def _wrap_array(seg: "_shm_module.SharedMemory", dtype: type, length: int) -> np.ndarray:
+    arr: np.ndarray = np.ndarray((length,), dtype=dtype, buffer=seg.buf)
+    arr.setflags(write=False)
+    return arr
+
+
+#: Planes created (and not yet destroyed) by this process; the atexit hook
+#: below destroys leftovers so normal exit never leaks /dev/shm segments.
+_LIVE_PLANES: Dict[str, "SharedDatabasePlane"] = {}
+_PLANE_COUNTER = itertools.count()
+
+
+def _cleanup_live_planes() -> None:
+    # Destruction order is immaterial (planes are independent); the list()
+    # only guards against mutation while iterating.
+    for plane in list(_LIVE_PLANES.values()):  # orionlint: disable=ORL004
+        plane.destroy()
+
+
+atexit.register(_cleanup_live_planes)
+
+
+class SharedDatabasePlane:
+    """Creator-side owner of one shared database plane.
+
+    Build with :meth:`create`; hand :attr:`handle` to workers; call
+    :meth:`release` when done. The plane is reference counted (it starts at
+    one reference): :meth:`acquire` lets additional consumers share it and
+    the segments are unlinked when the last one releases. :meth:`destroy`
+    (and the module ``atexit`` hook) force-release regardless of count.
+
+    Only the creating process ever unlinks: a forked worker that inherits
+    this object (and the module registry) closes its copies on exit but
+    must never remove segments the parent still serves.
+    """
+
+    def __init__(
+        self,
+        handle: SharedDatabaseHandle,
+        segments: Sequence["_shm_module.SharedMemory"],
+    ) -> None:
+        self.handle = handle
+        self._segments = list(segments)
+        self._creator_pid = os.getpid()
+        self._lock = threading.Lock()
+        self._refcount = 1
+        self._destroyed = False
+        _LIVE_PLANES[handle.plane_id] = self
+
+    # -- construction --------------------------------------------------- #
+
+    @classmethod
+    def create(cls, database: "Database", k: int) -> "SharedDatabasePlane":
+        """Build a plane for ``database`` and word size ``k``.
+
+        Two passes keep peak extra memory at one sequence's index, not the
+        whole database's: valid k-mer counts first size the segments
+        exactly, then each sequence's sorted index is built straight into
+        its slice of the shared buffers (see
+        :func:`repro.blast.lookup.sorted_kmers_into`).
+        """
+        _require_shm()
+        from repro.blast.lookup import count_valid_kmers, sorted_kmers_into
+
+        records = list(database)
+        seq_ids = tuple(r.seq_id for r in records)
+        descriptions = tuple(r.description for r in records)
+        codes_offsets = _prefix_sums(len(r) for r in records)
+        kmer_offsets = _prefix_sums(count_valid_kmers(r.codes, k) for r in records)
+
+        segments: List["_shm_module.SharedMemory"] = []
+        ok = False
+        try:
+            codes_seg = create_segment(codes_offsets[-1])
+            segments.append(codes_seg)
+            keys_seg = create_segment(kmer_offsets[-1] * 8)
+            segments.append(keys_seg)
+            pos_seg = create_segment(kmer_offsets[-1] * 8)
+            segments.append(pos_seg)
+
+            codes_arr: np.ndarray = np.ndarray(
+                (codes_offsets[-1],), dtype=np.uint8, buffer=codes_seg.buf
+            )
+            keys_arr: np.ndarray = np.ndarray(
+                (kmer_offsets[-1],), dtype=np.int64, buffer=keys_seg.buf
+            )
+            pos_arr: np.ndarray = np.ndarray(
+                (kmer_offsets[-1],), dtype=np.int64, buffer=pos_seg.buf
+            )
+            for i, rec in enumerate(records):
+                codes_arr[codes_offsets[i] : codes_offsets[i + 1]] = rec.codes
+                sorted_kmers_into(
+                    rec.codes,
+                    k,
+                    keys_arr[kmer_offsets[i] : kmer_offsets[i + 1]],
+                    pos_arr[kmer_offsets[i] : kmer_offsets[i + 1]],
+                )
+            # Drop the creator-side array aliases so close() can unmap later.
+            del codes_arr, keys_arr, pos_arr
+
+            handle = SharedDatabaseHandle(
+                plane_id=f"plane-{os.getpid()}-{next(_PLANE_COUNTER)}",
+                db_name=database.name,
+                k=int(k),
+                seq_ids=seq_ids,
+                descriptions=descriptions,
+                codes_segment=codes_seg.name,
+                codes_offsets=codes_offsets,
+                kmer_keys_segment=keys_seg.name,
+                kmer_positions_segment=pos_seg.name,
+                kmer_offsets=kmer_offsets,
+            )
+            plane = cls(handle, segments)
+            ok = True
+            return plane
+        finally:
+            if not ok:
+                for seg in segments:
+                    destroy_segment(seg)
+
+    # -- refcounted lifecycle ------------------------------------------- #
+
+    @property
+    def refcount(self) -> int:
+        with self._lock:
+            return self._refcount
+
+    @property
+    def destroyed(self) -> bool:
+        return self._destroyed
+
+    def acquire(self) -> "SharedDatabasePlane":
+        """Register one more consumer of this plane."""
+        with self._lock:
+            if self._destroyed:
+                raise SharedMemoryUnavailable(
+                    f"plane {self.handle.plane_id} is already destroyed"
+                )
+            self._refcount += 1
+        return self
+
+    def release(self) -> None:
+        """Drop one consumer; unlink the segments when none remain."""
+        with self._lock:
+            self._refcount -= 1
+            should_destroy = self._refcount <= 0 and not self._destroyed
+        if should_destroy:
+            self.destroy()
+
+    def destroy(self) -> None:
+        """Force-release: close, and unlink iff this is the creator process."""
+        with self._lock:
+            if self._destroyed:
+                return
+            self._destroyed = True
+            self._refcount = 0
+        _LIVE_PLANES.pop(self.handle.plane_id, None)
+        owner = os.getpid() == self._creator_pid
+        for seg in self._segments:
+            if owner:
+                destroy_segment(seg)
+            else:  # inherited copy in a forked child: detach only
+                try:
+                    seg.close()
+                except BufferError:  # orionlint: disable=ORL006
+                    # Views may still alias the mapping; it dies with us.
+                    pass
+        self._segments = []
+
+    def view(self) -> SharedDatabaseView:
+        """A creator-side zero-copy view of this plane (fresh attachment)."""
+        return attach_view(self.handle)
+
+    def __enter__(self) -> "SharedDatabasePlane":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+
+def _prefix_sums(sizes: Iterable[int]) -> Tuple[int, ...]:
+    out = [0]
+    for size in sizes:
+        out.append(out[-1] + int(size))
+    return tuple(out)
+
+
+# --------------------------------------------------------------------------- #
+# worker-side attachment
+# --------------------------------------------------------------------------- #
+
+
+def attach_view(handle: SharedDatabaseHandle) -> SharedDatabaseView:
+    """Attach a fresh zero-copy view of a plane (see also
+    :func:`attach_cached_view` for the once-per-process variant)."""
+    segments: List["_shm_module.SharedMemory"] = []
+    ok = False
+    try:
+        for name in handle.segment_names:
+            segments.append(attach_segment(name))
+        view = SharedDatabaseView(handle, segments)
+        ok = True
+        return view
+    finally:
+        if not ok:
+            for seg in segments:
+                seg.close()
+
+
+#: Per-process cache of attached views, keyed by plane id — a worker
+#: attaches each plane once and keeps the view warm across queries/jobs.
+_ATTACHED_VIEWS: Dict[str, SharedDatabaseView] = {}
+
+
+def attach_cached_view(handle: SharedDatabaseHandle) -> SharedDatabaseView:
+    """Attach (or reuse this process's existing view of) a plane."""
+    view = _ATTACHED_VIEWS.get(handle.plane_id)
+    if view is None:
+        view = attach_view(handle)
+        _ATTACHED_VIEWS[handle.plane_id] = view
+    return view
+
+
+def detach_cached_views() -> None:
+    """Close every cached view (test isolation / explicit worker teardown)."""
+    # Close order is immaterial (views are independent attachments).
+    for view in list(_ATTACHED_VIEWS.values()):  # orionlint: disable=ORL004
+        view.close()
+    _ATTACHED_VIEWS.clear()

@@ -18,6 +18,7 @@ from repro.analysis.rules.mapreduce_rules import (
     TaskCallableMutationRule,
     TaskCallablePicklableRule,
 )
+from repro.analysis.rules.resource_rules import SharedMemoryLifecycleRule
 
 
 def run_rule(rule, source):
@@ -29,9 +30,9 @@ def rule_ids(findings):
 
 
 class TestDefaultRuleSet:
-    def test_seven_rules_in_id_order(self):
+    def test_eight_rules_in_id_order(self):
         ids = [r.rule_id for r in default_rules()]
-        assert ids == [f"ORL00{i}" for i in range(1, 8)]
+        assert ids == [f"ORL00{i}" for i in range(1, 9)]
         assert ids == sorted(ids)
 
     def test_every_rule_documents_its_invariant(self):
@@ -444,6 +445,104 @@ class TestORL007LiteralMeasurement:
             LiteralMeasurementRule(),
             """\
             rec = TaskRecord(input_records=0, output_records=len(pairs))
+            """,
+        )
+        assert findings == []
+
+
+class TestORL008SharedMemoryLifecycle:
+    def test_unpaired_create_flagged(self):
+        findings = run_rule(
+            SharedMemoryLifecycleRule(),
+            """\
+            from multiprocessing import shared_memory
+
+            def publish(data):
+                seg = shared_memory.SharedMemory(create=True, size=len(data))
+                seg.buf[: len(data)] = data
+                return seg
+            """,
+        )
+        assert rule_ids(findings) == ["ORL008"]
+        assert "close/unlink" in findings[0].message
+
+    def test_unpaired_attach_flagged(self):
+        findings = run_rule(
+            SharedMemoryLifecycleRule(),
+            """\
+            from multiprocessing.shared_memory import SharedMemory
+
+            def peek(name):
+                seg = SharedMemory(name=name)
+                return bytes(seg.buf)
+            """,
+        )
+        assert rule_ids(findings) == ["ORL008"]
+
+    def test_release_in_finally_ok(self):
+        findings = run_rule(
+            SharedMemoryLifecycleRule(),
+            """\
+            from multiprocessing.shared_memory import SharedMemory
+
+            def publish(data):
+                seg = SharedMemory(create=True, size=len(data))
+                ok = False
+                try:
+                    seg.buf[: len(data)] = data
+                    ok = True
+                    return seg
+                finally:
+                    if not ok:
+                        seg.close()
+                        seg.unlink()
+            """,
+        )
+        assert findings == []
+
+    def test_context_manager_ok(self):
+        findings = run_rule(
+            SharedMemoryLifecycleRule(),
+            """\
+            from multiprocessing.shared_memory import SharedMemory
+
+            def peek(name):
+                with SharedMemory(name=name) as seg:
+                    return bytes(seg.buf)
+            """,
+        )
+        assert findings == []
+
+    def test_nested_def_is_its_own_scope(self):
+        # A finally in the outer function must not excuse an acquisition
+        # inside a nested def (it cannot guard it at runtime).
+        findings = run_rule(
+            SharedMemoryLifecycleRule(),
+            """\
+            from multiprocessing.shared_memory import SharedMemory
+
+            def outer():
+                seg = None
+                try:
+                    pass
+                finally:
+                    if seg is not None:
+                        seg.close()
+
+                def inner(name):
+                    return SharedMemory(name=name)
+
+                return inner
+            """,
+        )
+        assert rule_ids(findings) == ["ORL008"]
+
+    def test_unrelated_call_ok(self):
+        findings = run_rule(
+            SharedMemoryLifecycleRule(),
+            """\
+            def build(name):
+                return SomeFactory(name=name)
             """,
         )
         assert findings == []

@@ -136,3 +136,144 @@ class TestValidation:
             OrionSearch(database=small_db, strands="minus")
         with pytest.raises(ValueError):
             OrionSearch(database=small_db, aggregation_mode="magic")
+
+
+class TestPersistentPool:
+    def _queries(self, small_db, query_with_truth):
+        query, _ = query_with_truth
+        return [query, small_db.records[1].slice(0, 3000, seq_id="q2")]
+
+    def test_run_many_uses_one_persistent_pool(
+        self, small_db, query_with_truth, monkeypatch
+    ):
+        """The whole query set (MapReduce + sort jobs) must share one
+        process pool — pool-per-query startup is the PR-1 bug."""
+        from repro.mapreduce import runtime as runtime_mod
+
+        created = []
+        real_pool = runtime_mod.ProcessPoolExecutor
+
+        def counting_pool(*args, **kwargs):
+            created.append(1)
+            return real_pool(*args, **kwargs)
+
+        monkeypatch.setattr(runtime_mod, "ProcessPoolExecutor", counting_pool)
+        search = OrionSearch(
+            database=small_db, num_shards=4, fragment_length=9000,
+            executor="processes", num_workers=2,
+        )
+        try:
+            results = search.run_many(self._queries(small_db, query_with_truth))
+            assert len(results) == 2
+            assert len(created) == 1
+        finally:
+            search.close()
+
+    def test_reuse_pool_false_escape_hatch(
+        self, small_db, query_with_truth, monkeypatch
+    ):
+        from repro.mapreduce import runtime as runtime_mod
+
+        created = []
+        real_pool = runtime_mod.ProcessPoolExecutor
+
+        def counting_pool(*args, **kwargs):
+            created.append(1)
+            return real_pool(*args, **kwargs)
+
+        monkeypatch.setattr(runtime_mod, "ProcessPoolExecutor", counting_pool)
+        search = OrionSearch(
+            database=small_db, num_shards=4, fragment_length=9000,
+            executor="processes", num_workers=2, reuse_pool=False,
+        )
+        try:
+            search.run_many(self._queries(small_db, query_with_truth))
+            assert len(created) >= 2  # a fresh pool per job, as before
+        finally:
+            search.close()
+
+    def test_close_releases_segments_and_next_run_rebuilds(
+        self, small_db, query_with_truth
+    ):
+        pytest.importorskip("multiprocessing.shared_memory")
+        from repro.mapreduce.shm import segment_exists
+        from tests.conftest import alignment_keys as keys
+
+        query, _ = query_with_truth
+        search = OrionSearch(
+            database=small_db, num_shards=4, fragment_length=9000,
+            executor="processes", num_workers=2,
+        )
+        try:
+            r1 = search.run(query)
+            assert search._plane is not None
+            names = search._shm_handle.segment_names
+            search.close()
+            assert not any(segment_exists(n) for n in names)
+            r2 = search.run(query)  # transparently rebuilds plane + pool
+            assert keys(r2.alignments) == keys(r1.alignments)
+        finally:
+            search.close()
+
+    def test_context_manager_closes(self, small_db, query_with_truth):
+        query, _ = query_with_truth
+        with OrionSearch(
+            database=small_db, num_shards=4, fragment_length=9000,
+            executor="processes", num_workers=2,
+        ) as search:
+            search.run(query)
+            pool = search._pool
+            assert pool is not None
+        assert search._pool is None and search._plane is None
+        assert not pool.started
+
+
+class TestShardScopedCache:
+    def test_worker_builds_only_touched_shards(self):
+        """A (worker-side) search that maps tasks for one shard must never
+        index the other shards' sequences."""
+        import pickle
+
+        from repro.core import orion as orion_mod
+        from repro.core.fragmenter import fragment_query
+        from repro.sequence.generator import make_database
+
+        db = make_database(909, num_sequences=8, mean_length=500, name="lazydb")
+        search = OrionSearch(database=db, num_shards=4, fragment_length=None)
+        worker = pickle.loads(pickle.dumps(search))  # what a pool worker gets
+        assert worker._db_key == search._db_key
+
+        query = db.records[0].slice(0, 400, seq_id="qlazy")
+        overlap, space = worker.overlap_for_query(query)
+        fragment = fragment_query(query, len(query), overlap)[0]
+
+        store = orion_mod._KMER_STORES.setdefault(worker._db_key, {})
+        store.clear()
+        worker._map_fragment_shard(query, fragment, worker.shards[0], space)
+
+        shard0_ids = {r.seq_id for r in worker.shards[0].database}
+        all_ids = {r.seq_id for r in db}
+        assert set(store) == shard0_ids
+        assert shard0_ids < all_ids  # the untouched shards exist and are absent
+
+        # Touching a second shard extends the store incrementally.
+        worker._map_fragment_shard(query, fragment, worker.shards[1], space)
+        shard1_ids = {r.seq_id for r in worker.shards[1].database}
+        assert set(store) == shard0_ids | shard1_ids
+
+    def test_store_survives_repickling_for_same_database(self):
+        """Two job pickles of the same database resolve to one store — the
+        cross-query warmth a persistent worker depends on."""
+        import pickle
+
+        from repro.core import orion as orion_mod
+        from repro.sequence.generator import make_database
+
+        db = make_database(910, num_sequences=4, mean_length=400, name="warmdb")
+        s1 = pickle.loads(pickle.dumps(OrionSearch(database=db, num_shards=2)))
+        s2 = pickle.loads(pickle.dumps(OrionSearch(database=db, num_shards=2)))
+        assert s1._db_key == s2._db_key
+        orion_mod._KMER_STORES.pop(s1._db_key, None)
+        first = s1._kmer_cache_for_shard(s1.shards[0])
+        second = s2._kmer_cache_for_shard(s2.shards[0])
+        assert first is second  # the module-level store itself

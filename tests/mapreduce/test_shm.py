@@ -1,0 +1,329 @@
+"""Shared-memory data plane + persistent WorkerPool tests.
+
+The leak tests assert the lifecycle invariant directly against ``/dev/shm``:
+whatever happens — normal release, forgotten release at interpreter exit,
+or a worker process crashing mid-task — no orphan segment may survive.
+"""
+
+import os
+import subprocess
+import sys
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.blast.lookup import sorted_kmers
+from repro.mapreduce import runtime as runtime_mod
+from repro.mapreduce import shm as shm_mod
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.runtime import SerialExecutor, WorkerPool
+from repro.mapreduce.shm import (
+    SharedDatabasePlane,
+    SharedMemoryUnavailable,
+    attach_cached_view,
+    attach_view,
+    create_segment,
+    destroy_segment,
+    detach_cached_views,
+    publish_bytes,
+    read_bytes,
+    segment_exists,
+)
+from repro.mapreduce.types import InputSplit
+from repro.sequence.generator import make_database
+
+pytestmark = pytest.mark.skipif(
+    not shm_mod.HAVE_SHARED_MEMORY, reason="platform lacks POSIX shared memory"
+)
+
+K = 9
+
+
+def _psm_segments():
+    """Names of live POSIX shm segments (Linux probe; empty set elsewhere)."""
+    try:
+        return {n for n in os.listdir("/dev/shm") if n.startswith("psm_")}
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
+
+
+@pytest.fixture
+def db():
+    return make_database(101, num_sequences=5, mean_length=400)
+
+
+# Module-level task callables: picklable under fork and spawn alike.
+def _mod5_mapper(split):
+    for x in split.payload:
+        yield x % 5, x
+
+
+def _sum_reducer(key, values):
+    yield key, sum(values)
+
+
+class _CrashInWorkerMapper:
+    """Crashes the hosting process — but only when it is NOT the parent.
+
+    The parent pid travels with the pickle, so the post-crash serial
+    fallback (which runs in the parent) completes normally while every
+    pool worker dies mid-task.
+    """
+
+    def __init__(self, parent_pid):
+        self.parent_pid = parent_pid
+
+    def __call__(self, split):
+        if os.getpid() != self.parent_pid:
+            os._exit(13)
+        yield from _mod5_mapper(split)
+
+
+def make_job(mapper=_mod5_mapper, n_red=2):
+    return MapReduceJob(mapper=mapper, reducer=_sum_reducer, num_reducers=n_red, name="t")
+
+
+def make_splits(n=6, width=10):
+    return [
+        InputSplit(index=i, payload=list(range(i * width, (i + 1) * width)))
+        for i in range(n)
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# segment helpers
+# --------------------------------------------------------------------------- #
+
+
+class TestSegments:
+    def test_publish_read_roundtrip(self):
+        data = b"orion shared bytes"
+        seg = publish_bytes(data)
+        try:
+            assert read_bytes(seg.name, len(data)) == data
+            assert segment_exists(seg.name)
+        finally:
+            destroy_segment(seg)
+        assert not segment_exists(seg.name)
+
+    def test_destroy_is_idempotent(self):
+        seg = create_segment(16)
+        destroy_segment(seg)
+        destroy_segment(seg)  # second unlink: FileNotFoundError swallowed
+        assert not segment_exists(seg.name)
+
+    def test_failed_create_does_not_leak(self):
+        before = _psm_segments()
+        with pytest.raises(ValueError):
+            # data larger than the segment: the copy-in fails after creation
+            # and the paired finally must close+unlink.
+            create_segment(4, b"way more than four bytes")
+        assert _psm_segments() - before == set()
+
+
+# --------------------------------------------------------------------------- #
+# the database plane
+# --------------------------------------------------------------------------- #
+
+
+class TestPlane:
+    def test_view_roundtrips_codes_and_kmers(self, db):
+        with SharedDatabasePlane.create(db, K) as plane:
+            view = attach_view(plane.handle)
+            rebuilt = view.database()
+            assert rebuilt.name == db.name
+            for rec, back in zip(db, rebuilt):
+                assert back.seq_id == rec.seq_id
+                assert np.array_equal(back.codes, rec.codes)
+                keys, pos = sorted_kmers(rec.codes, K)
+                vkeys, vpos = view.sorted_kmers(rec.seq_id)
+                assert np.array_equal(vkeys, keys)
+                assert np.array_equal(vpos, pos)
+            view.close()
+
+    def test_views_are_read_only(self, db):
+        with SharedDatabasePlane.create(db, K) as plane:
+            view = attach_view(plane.handle)
+            codes = view.codes(db.records[0].seq_id)
+            with pytest.raises(ValueError):
+                codes[0] = 1
+            view.close()
+
+    def test_refcount_unlinks_on_last_release(self, db):
+        plane = SharedDatabasePlane.create(db, K)
+        names = plane.handle.segment_names
+        plane.acquire()
+        plane.release()
+        assert all(segment_exists(n) for n in names)
+        assert not plane.destroyed
+        plane.release()
+        assert plane.destroyed
+        assert not any(segment_exists(n) for n in names)
+
+    def test_acquire_after_destroy_raises(self, db):
+        plane = SharedDatabasePlane.create(db, K)
+        plane.destroy()
+        with pytest.raises(SharedMemoryUnavailable):
+            plane.acquire()
+
+    def test_handle_pickles_small(self, db):
+        import pickle
+
+        plane = SharedDatabasePlane.create(db, K)
+        try:
+            blob = pickle.dumps(plane.handle)
+            # The whole point: the handle is metadata, not the database.
+            assert len(blob) < 4096
+            assert pickle.loads(blob) == plane.handle
+        finally:
+            plane.release()
+
+    def test_cached_view_attaches_once_per_process(self, db):
+        plane = SharedDatabasePlane.create(db, K)
+        try:
+            v1 = attach_cached_view(plane.handle)
+            v2 = attach_cached_view(plane.handle)
+            assert v1 is v2
+        finally:
+            detach_cached_views()
+            plane.release()
+
+    def test_cleanup_hook_reclaims_unreleased_planes(self, db):
+        plane = SharedDatabasePlane.create(db, K)
+        names = plane.handle.segment_names
+        assert plane.handle.plane_id in shm_mod._LIVE_PLANES
+        shm_mod._cleanup_live_planes()
+        assert plane.destroyed
+        assert not any(segment_exists(n) for n in names)
+        assert plane.handle.plane_id not in shm_mod._LIVE_PLANES
+
+
+class TestLeakOnExit:
+    def test_no_orphan_segments_after_normal_interpreter_exit(self, db, tmp_path):
+        """A script that builds a plane and *forgets* to release it must
+        still leave /dev/shm clean: the atexit registry is the backstop."""
+        script = tmp_path / "leaky.py"
+        script.write_text(
+            "import sys\n"
+            "from repro.mapreduce.shm import SharedDatabasePlane\n"
+            "from repro.sequence.generator import make_database\n"
+            "db = make_database(7, num_sequences=3, mean_length=300)\n"
+            "plane = SharedDatabasePlane.create(db, 9)\n"
+            "print('\\n'.join(plane.handle.segment_names))\n"
+            "# exits without release/destroy\n"
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(shm_mod.__file__), "..", "..")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        out = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        names = [n for n in out.stdout.splitlines() if n]
+        assert len(names) == 3
+        assert not any(segment_exists(n) for n in names)
+        assert "Traceback" not in out.stderr
+
+
+# --------------------------------------------------------------------------- #
+# persistent WorkerPool
+# --------------------------------------------------------------------------- #
+
+
+def _expected_totals(n=6, width=10):
+    expected = {}
+    for x in range(n * width):
+        expected[x % 5] = expected.get(x % 5, 0) + x
+    return expected
+
+
+class TestWorkerPool:
+    def test_matches_serial_and_reuses_one_pool(self, monkeypatch):
+        created = []
+        real_pool = runtime_mod.ProcessPoolExecutor
+
+        def counting_pool(*args, **kwargs):
+            created.append(1)
+            return real_pool(*args, **kwargs)
+
+        monkeypatch.setattr(runtime_mod, "ProcessPoolExecutor", counting_pool)
+        serial = SerialExecutor().run(make_job(), make_splits())
+        with WorkerPool(max_workers=2) as pool:
+            r1 = pool.run(make_job(), make_splits())
+            r2 = pool.run(make_job(), make_splits())
+            assert pool.started
+        assert len(created) == 1
+        assert r1.outputs == serial.outputs == r2.outputs
+        assert all(r.executor == "processes" for r in r1.records)
+        assert not any(r.simulator_safe for r in r1.records)
+
+    def test_job_blob_segment_is_destroyed_after_run(self, monkeypatch):
+        published = []
+        real_publish = shm_mod.publish_bytes
+
+        def spying_publish(data):
+            seg = real_publish(data)
+            published.append(seg.name)
+            return seg
+
+        monkeypatch.setattr(shm_mod, "publish_bytes", spying_publish)
+        with WorkerPool(max_workers=2) as pool:
+            pool.run(make_job(), make_splits())
+        assert published, "job blob was not shipped via shared memory"
+        assert not any(segment_exists(n) for n in published)
+
+    def test_unpicklable_job_falls_back_to_serial(self):
+        job = MapReduceJob(
+            mapper=lambda s: [(0, x) for x in s.payload],  # closure: unpicklable
+            reducer=_sum_reducer,
+            num_reducers=2,
+            name="t",
+        )
+        with WorkerPool(max_workers=2) as pool:
+            with pytest.warns(RuntimeWarning, match="falling back to serial"):
+                result = pool.run(job, make_splits())
+        totals = dict(kv for out in result.outputs for kv in out)
+        assert totals == {0: sum(range(60))}
+        assert all(r.executor == "serial" for r in result.records)
+
+    def test_single_worker_runs_serial_without_pool(self):
+        pool = WorkerPool(max_workers=1)
+        result = pool.run(make_job(), make_splits())
+        assert not pool.started
+        assert all(r.executor == "serial" for r in result.records)
+
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_worker_crash_recovers_and_leaks_nothing(self, start_method):
+        """An injected worker crash must (a) fall back to a correct serial
+        run, (b) discard the poisoned pool, and (c) leave /dev/shm clean —
+        under both fork and spawn start methods."""
+        before = _psm_segments()
+        job = make_job(mapper=_CrashInWorkerMapper(os.getpid()))
+        pool = WorkerPool(max_workers=2, start_method=start_method)
+        try:
+            with pytest.warns(RuntimeWarning, match="falling back to serial"):
+                result = pool.run(job, make_splits())
+            assert not pool.started, "crashed pool must be discarded"
+            totals = dict(kv for out in result.outputs for kv in out)
+            assert totals == _expected_totals()
+            # The pool rebuilds transparently on the next run.
+            healthy = pool.run(make_job(), make_splits())
+            assert all(r.executor == "processes" for r in healthy.records)
+        finally:
+            pool.shutdown()
+        assert _psm_segments() - before == set()
+
+    def test_shutdown_is_idempotent_and_rebuildable(self):
+        pool = WorkerPool(max_workers=2)
+        r1 = pool.run(make_job(), make_splits())
+        pool.shutdown()
+        pool.shutdown()
+        assert not pool.started
+        r2 = pool.run(make_job(), make_splits())
+        pool.shutdown()
+        assert r1.outputs == r2.outputs
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            WorkerPool(max_workers=0)

@@ -53,7 +53,7 @@ def tiny_query(tiny_db):
     return query
 
 
-def run_orion(db, query, executor, use_streaming=False, strands="plus"):
+def run_orion(db, query, executor, use_streaming=False, strands="plus", shared_db=None):
     search = OrionSearch(
         database=db,
         num_shards=4,
@@ -62,8 +62,12 @@ def run_orion(db, query, executor, use_streaming=False, strands="plus"):
         use_streaming=use_streaming,
         executor=executor,
         num_workers=2,
+        shared_db=shared_db,
     )
-    return search.run(query)
+    try:
+        return search.run(query)
+    finally:
+        search.close()
 
 
 @pytest.mark.parametrize("use_streaming", [False, True])
@@ -84,6 +88,28 @@ class TestOrionExecutorEquivalence:
         # must survive the process boundary too.
         assert proc.merged_pairs == serial.merged_pairs
         assert proc.dropped_partials == serial.dropped_partials
+
+    def test_processes_shm_equal_serial(self, tiny_db, tiny_query, use_streaming, strands):
+        """The zero-copy shared-database plane must be invisible in the
+        output: serial == processes+shm, field-identical."""
+        pytest.importorskip("multiprocessing.shared_memory")
+        serial = run_orion(tiny_db, tiny_query, "serial", use_streaming, strands)
+        shm = run_orion(
+            tiny_db, tiny_query, "processes", use_streaming, strands, shared_db=True
+        )
+        assert canonical(shm.alignments) == canonical(serial.alignments)
+        assert shm.executor_kind == "processes"
+        assert shm.merged_pairs == serial.merged_pairs
+
+    def test_processes_pickled_db_equal_serial(
+        self, tiny_db, tiny_query, use_streaming, strands
+    ):
+        """--no-shared-db path: the pickled-database fallback stays exact."""
+        serial = run_orion(tiny_db, tiny_query, "serial", use_streaming, strands)
+        pickled = run_orion(
+            tiny_db, tiny_query, "processes", use_streaming, strands, shared_db=False
+        )
+        assert canonical(pickled.alignments) == canonical(serial.alignments)
 
 
 def test_serial_records_simulator_safe_processes_not(tiny_db, tiny_query):
