@@ -27,7 +27,7 @@ from repro.blast.formatter import format_tabular
 from repro.blast.params import BlastParams
 from repro.core.orion import OrionSearch
 from repro.core.overlap import overlap_length
-from repro.mapreduce.runtime import EXECUTOR_KINDS
+from repro.mapreduce.runtime import EXECUTOR_KINDS, SHUFFLE_KINDS
 from repro.mpiblast.runner import MpiBlastRunner
 from repro.sequence.fasta import read_fasta, write_fasta
 from repro.sequence.generator import (
@@ -106,6 +106,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
             strands=args.strands,
             executor=executor,
             num_workers=args.workers,
+            shuffle=args.shuffle,
             shared_db=args.shared_db,
         )
 
@@ -246,6 +247,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker count for --executor threads/processes (default: "
         "4 threads, or one process per core)",
+    )
+    p.add_argument(
+        "--shuffle",
+        choices=SHUFFLE_KINDS,
+        default="barrier",
+        help="shuffle mode for --executor processes: barrier (default; "
+        "driver-side repartition after all maps finish) or streaming "
+        "(map tasks spill partitioned runs to shared memory and reduce "
+        "tasks start as soon as their inputs commit); results are "
+        "identical either way",
     )
     p.add_argument(
         "--shared-db",

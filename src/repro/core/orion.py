@@ -208,6 +208,13 @@ class OrionSearch:
     num_workers:
         Pool size for the ``"threads"``/``"processes"`` executors
         (``None`` = backend default: 4 threads, or one process per core).
+    shuffle:
+        Shuffle mode for process-backed executors: ``"barrier"`` (default)
+        or ``"streaming"`` (map tasks spill partitioned runs to shared
+        memory and reduce tasks slow-start as their inputs commit — see
+        :class:`repro.mapreduce.runtime.ShuffleService`). Alignments are
+        identical either way (property-tested); in-process backends have
+        no cross-process movement to stream and ignore it.
     shared_db:
         Ship the database to process workers through a shared-memory data
         plane (2-bit codes + prebuilt k-mer indexes, one copy per machine,
@@ -248,6 +255,7 @@ class OrionSearch:
         use_streaming: bool = False,
         executor: Union[str, Executor, None] = "serial",
         num_workers: Optional[int] = None,
+        shuffle: str = "barrier",
         shared_db: Optional[bool] = None,
         reuse_pool: bool = True,
     ) -> None:
@@ -280,7 +288,7 @@ class OrionSearch:
         self.num_reducers = num_reducers
         self.sort_tasks = sort_tasks
         self.use_streaming = use_streaming
-        self.executor: Executor = resolve_executor(executor, num_workers)
+        self.executor: Executor = resolve_executor(executor, num_workers, shuffle=shuffle)
         self.shared_db = shared_db
         self.reuse_pool = bool(reuse_pool)
         self._pool: Optional[WorkerPool] = None
@@ -385,6 +393,7 @@ class OrionSearch:
                 self._pool = WorkerPool(
                     max_workers=self.executor.max_workers,
                     start_method=self.executor.start_method,
+                    shuffle=self.executor.shuffle,
                 )
             return self._pool
         return self.executor

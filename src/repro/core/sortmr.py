@@ -70,6 +70,7 @@ def parallel_sort_alignments(
     num_tasks: int = 4,
     seed=0,
     executor: Union[str, Executor, None] = None,
+    shuffle: str = "barrier",
 ) -> Tuple[List[Alignment], List[float]]:
     """Sample-sort alignments into report order (ascending E-value).
 
@@ -79,6 +80,8 @@ def parallel_sort_alignments(
     (``executor`` defaults to serial, whose durations feed the simulator).
     On heavily skewed key distributions fewer than ``num_tasks`` reduce
     tasks may run (splitters are deduplicated; see :func:`choose_splitters`).
+    ``shuffle`` selects the process-backed shuffle mode when ``executor``
+    is a name; an executor *instance* keeps its own configured mode.
     """
     alignments = list(alignments)
     if not alignments:
@@ -102,7 +105,7 @@ def parallel_sort_alignments(
         InputSplit(index=i, payload=alignments[j : j + chunk])
         for i, j in enumerate(range(0, len(alignments), chunk))
     ]
-    result = resolve_executor(executor).run(job, splits)
+    result = resolve_executor(executor, shuffle=shuffle).run(job, splits)
     ordered = result.flat_outputs()
     durations = [r.duration for r in result.reduce_records()]
     return ordered, durations

@@ -76,24 +76,61 @@ class MapReduceJob:
                 combined.append((key, value))
         return combined
 
+    def partition_pairs(
+        self, pairs: Sequence[Tuple[Any, Any]], sort_runs: bool = False
+    ) -> List[List[Tuple[Any, Any]]]:
+        """Partition one task's map output into per-reducer runs.
+
+        This is the map-side half of the shuffle: the streaming shuffle
+        calls it *inside* the map task (worker-side) and spills the runs to
+        shared memory; the barrier shuffle calls it driver-side for every
+        task. ``sort_runs`` additionally key-sorts each run (Hadoop's
+        map-side sort). The sort is stable, so values at equal keys keep
+        map-output order — :func:`group_by_key` over concatenated runs
+        yields identical groups whether or not runs were pre-sorted.
+        """
+        runs: List[List[Tuple[Any, Any]]] = [[] for _ in range(self.num_reducers)]
+        for key, value in pairs:
+            p = self.partitioner(key, self.num_reducers)
+            if not 0 <= p < self.num_reducers:
+                raise ValueError(
+                    f"partitioner returned {p} for key {key!r} "
+                    f"(num_reducers={self.num_reducers})"
+                )
+            runs[p].append((key, value))
+        if sort_runs:
+            for run in runs:
+                run.sort(key=lambda kv: kv[0])
+        return runs
+
+    def merge_runs(
+        self, runs: Sequence[Sequence[Tuple[Any, Any]]]
+    ) -> List[Tuple[Any, List[Any]]]:
+        """Reduce-side merge: concatenate one partition's runs and group.
+
+        ``runs`` must arrive in split-index order — concatenation then
+        reproduces exactly the pair order the barrier shuffle feeds
+        :func:`group_by_key` (per task in split order, per pair in
+        map-output order), so both shuffles are deterministic and
+        equivalent by construction.
+        """
+        merged: List[Tuple[Any, Any]] = []
+        for run in runs:
+            merged.extend(run)
+        return group_by_key(merged)
+
     def shuffle(
         self, map_outputs: Sequence[Sequence[Tuple[Any, Any]]]
     ) -> List[List[Tuple[Any, List[Any]]]]:
-        """Partition and group all map output.
+        """Partition and group all map output (the barrier shuffle).
 
         Returns, per reducer partition, a key-sorted list of
         ``(key, [values...])`` groups.
         """
         partitions: List[List[Tuple[Any, Any]]] = [[] for _ in range(self.num_reducers)]
         for task_output in map_outputs:
-            for key, value in task_output:
-                p = self.partitioner(key, self.num_reducers)
-                if not 0 <= p < self.num_reducers:
-                    raise ValueError(
-                        f"partitioner returned {p} for key {key!r} "
-                        f"(num_reducers={self.num_reducers})"
-                    )
-                partitions[p].append((key, value))
+            for run, partition in zip(self.partition_pairs(task_output), partitions):
+                partition.extend(run)
         return [group_by_key(part) for part in partitions]
 
     def run_reduce_task(

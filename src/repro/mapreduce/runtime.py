@@ -19,6 +19,17 @@ Three executors with identical result semantics (DESIGN.md row 5's
   unpicklable state (lambdas, local closures) fall back to serial execution
   with a warning.
 
+Process-backed executors additionally choose between two shuffles. The
+default **barrier** shuffle collects every map output back into the driver,
+repartitions there, and only then dispatches reduce tasks. The **streaming**
+shuffle (``shuffle="streaming"``) is push-based: each map task partitions
+(and combines) its own output worker-side, spills per-partition pickled
+runs into a shared-memory segment (inline fallback when shm is
+unavailable), and the driver schedules with ``as_completed`` so reduce
+task *p* launches the moment every map task has committed its partition-*p*
+run — Hadoop's reduce slowstart, instead of a barrier plus a driver-side
+serial shuffle. See :class:`ShuffleService`.
+
 All executors return the same :class:`~repro.mapreduce.types.JobResult` for
 the same job and splits, independent of scheduling order: map outputs are
 ordered by split index and reducer outputs by partition index before the
@@ -29,15 +40,15 @@ that produced it; only serial, uncontended records are ``simulator_safe``.
 
 from __future__ import annotations
 
-import itertools
+import hashlib
 import multiprocessing
 import os
 import pickle
 import warnings
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Any, List, Optional, Protocol, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence, Tuple, Union
 
 from repro.mapreduce import shm as shm_mod
 from repro.mapreduce.job import MapReduceJob
@@ -46,6 +57,11 @@ from repro.util.timers import Stopwatch
 
 #: The executor kinds :func:`resolve_executor` (and the CLI) accept.
 EXECUTOR_KINDS = ("serial", "threads", "processes")
+
+#: The shuffle modes process-backed executors (and the CLI) accept.
+#: ``barrier`` stays the default: it keeps the serial path byte-for-byte
+#: unchanged, which is what simulator-safe measurement runs use.
+SHUFFLE_KINDS = ("barrier", "streaming")
 
 
 def _payload_records(payload: Any) -> int:
@@ -158,9 +174,13 @@ class ThreadedExecutor:
 
     One pool serves both phases — creating a second pool for the reduce
     phase would pay thread startup/teardown twice per job for nothing. Task
-    records are flagged ``contended=True``: CPU-bound Python tasks running
-    concurrently under the GIL inflate each other's wall-clock, so these
-    durations are *not* simulator-safe serial measurements.
+    records are flagged ``contended=True`` only when their *phase* actually
+    ran tasks concurrently — ``min(max_workers, phase task count) > 1`` —
+    because CPU-bound Python tasks running concurrently under the GIL
+    inflate each other's wall-clock. A single map split (or single reduce
+    partition) on a wide pool runs alone between the phase barriers, so its
+    duration is a valid uncontended measurement and must not be excluded
+    from ``simulator_safe`` filtering by a blanket ``max_workers > 1`` flag.
     """
 
     kind = "threads"
@@ -171,12 +191,12 @@ class ThreadedExecutor:
         self.max_workers = max_workers
 
     def run(self, job: MapReduceJob, splits: Sequence[InputSplit]) -> JobResult:
-        contended = self.max_workers > 1
+        map_contended = min(self.max_workers, len(splits)) > 1
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
             map_results = list(
                 pool.map(
                     lambda s: _measure_map(
-                        job, s, executor=self.kind, contended=contended
+                        job, s, executor=self.kind, contended=map_contended
                     ),
                     splits,
                 )
@@ -185,10 +205,12 @@ class ThreadedExecutor:
             records: List[TaskRecord] = [rec for _, rec in map_results]
 
             partitions = job.shuffle(map_outputs)
+            reduce_contended = min(self.max_workers, len(partitions)) > 1
             reduce_results = list(
                 pool.map(
                     lambda item: _measure_reduce(
-                        job, item[0], item[1], executor=self.kind, contended=contended
+                        job, item[0], item[1], executor=self.kind,
+                        contended=reduce_contended,
                     ),
                     enumerate(partitions),
                 )
@@ -235,6 +257,272 @@ def _process_reduce_task(
     )
 
 
+# --------------------------------------------------------------------------- #
+# streaming shuffle
+# --------------------------------------------------------------------------- #
+
+#: Where one reduce task finds one map task's partition-p run: a
+#: ``(segment_name, start, length)`` triple into a shared-memory spill
+#: segment, or the pickled run bytes themselves (inline fallback). An empty
+#: run is length 0 / ``b""`` — never pickled, never attached.
+_RunLocator = Union[bytes, Tuple[str, int, int]]
+
+
+@dataclass(frozen=True)
+class _RunCommit:
+    """One map task's committed shuffle output.
+
+    The run format: the map task partitions (and combines) its output
+    worker-side, key-sorts each run, pickles each non-empty run separately
+    and concatenates the blobs into one spill segment — ``offsets[p]`` is
+    the ``(start, length)`` of partition ``p``'s run, so a reduce task
+    attaches the segment and unpickles *only its own slice*. When shared
+    memory is unavailable (or the spill write fails) the pickled runs ride
+    inline in ``inline`` instead and ``segment`` is ``None``.
+    """
+
+    segment: Optional[str]
+    offsets: Tuple[Tuple[int, int], ...]
+    inline: Optional[Tuple[bytes, ...]]
+    total_bytes: int
+
+    def locator(self, partition_index: int) -> _RunLocator:
+        if self.inline is not None:
+            return self.inline[partition_index]
+        assert self.segment is not None, "commit carries neither segment nor bytes"
+        start, length = self.offsets[partition_index]
+        return (self.segment, start, length)
+
+
+def _spill_map_output(
+    job: MapReduceJob, pairs: Sequence[Tuple[Any, Any]], spill_name: Optional[str]
+) -> _RunCommit:
+    """Partition one map task's output and spill it (worker-side).
+
+    Writes the concatenated per-partition run pickles into the shared
+    segment the driver reserved under ``spill_name``; the worker detaches
+    after writing — the driver's :class:`~repro.mapreduce.shm.SpillSet`
+    owns the unlink, so even a worker that dies right after creating the
+    segment cannot leak it. Any ``OSError`` (``/dev/shm`` exhausted, a
+    stale segment squatting on the name) degrades to shipping the runs
+    inline through the result pipe.
+    """
+    runs = job.partition_pairs(pairs, sort_runs=True)
+    blobs = [
+        pickle.dumps(run, protocol=pickle.HIGHEST_PROTOCOL) if run else b""
+        for run in runs
+    ]
+    total = sum(len(b) for b in blobs)
+    if spill_name is not None and shm_mod.HAVE_SHARED_MEMORY and total:
+        try:
+            seg = shm_mod.create_segment(total, name=spill_name)
+        except OSError:  # orionlint: disable=ORL006
+            pass  # deliberate degrade: the inline commit below loses nothing
+        else:
+            offsets: List[Tuple[int, int]] = []
+            pos = 0
+            for blob in blobs:
+                seg.buf[pos : pos + len(blob)] = blob
+                offsets.append((pos, len(blob)))
+                pos += len(blob)
+            seg.close()
+            return _RunCommit(
+                segment=spill_name, offsets=tuple(offsets), inline=None,
+                total_bytes=total,
+            )
+    return _RunCommit(segment=None, offsets=(), inline=tuple(blobs), total_bytes=total)
+
+
+def _fetch_partition_runs(
+    locators: Sequence[_RunLocator],
+) -> Tuple[List[List[Tuple[Any, Any]]], int]:
+    """Pull one partition's runs (split-index order) out of the shuffle."""
+    runs: List[List[Tuple[Any, Any]]] = []
+    bytes_in = 0
+    for loc in locators:
+        if isinstance(loc, bytes):
+            blob = loc
+        else:
+            name, start, length = loc
+            blob = shm_mod.read_segment_slice(name, start, length) if length else b""
+        bytes_in += len(blob)
+        runs.append(pickle.loads(blob) if blob else [])
+    return runs, bytes_in
+
+
+def _streaming_measure_map(
+    job: MapReduceJob, split: InputSplit, spill_name: Optional[str], executor: str
+) -> Tuple[TaskRecord, _RunCommit]:
+    sw = Stopwatch().start()
+    pairs = job.run_map_task(split)
+    commit = _spill_map_output(job, pairs, spill_name)
+    dur = sw.stop()
+    rec = TaskRecord(
+        task_id=f"{job.name}/map/{split.index:05d}",
+        kind=TaskKind.MAP,
+        duration=dur,
+        input_records=_payload_records(split.payload),
+        output_records=len(pairs),
+        executor=executor,
+        shuffle_bytes_out=commit.total_bytes,
+    )
+    return rec, commit
+
+
+def _streaming_measure_reduce(
+    job: MapReduceJob,
+    partition_index: int,
+    locators: Sequence[_RunLocator],
+    executor: str,
+) -> Tuple[List[Any], TaskRecord, int]:
+    sw = Stopwatch().start()
+    runs, bytes_in = _fetch_partition_runs(locators)
+    groups = job.merge_runs(runs)
+    out = job.run_reduce_task(groups)
+    dur = sw.stop()
+    rec = TaskRecord(
+        task_id=f"{job.name}/reduce/{partition_index:05d}",
+        kind=TaskKind.REDUCE,
+        duration=dur,
+        input_records=sum(len(v) for _, v in groups),
+        output_records=len(out),
+        executor=executor,
+        shuffle_bytes_in=bytes_in,
+    )
+    return out, rec, len(groups)
+
+
+def _process_streaming_map_task(
+    item: Tuple[InputSplit, Optional[str]]
+) -> Tuple[TaskRecord, _RunCommit]:
+    assert _WORKER_JOB is not None, "worker initializer did not run"
+    split, spill_name = item
+    return _streaming_measure_map(
+        _WORKER_JOB, split, spill_name, executor=ProcessExecutor.kind
+    )
+
+
+def _process_streaming_reduce_task(
+    item: Tuple[int, List[_RunLocator]]
+) -> Tuple[List[Any], TaskRecord, int]:
+    assert _WORKER_JOB is not None, "worker initializer did not run"
+    partition_index, locators = item
+    return _streaming_measure_reduce(
+        _WORKER_JOB, partition_index, locators, executor=ProcessExecutor.kind
+    )
+
+
+class ShuffleService:
+    """Driver-side bookkeeping for the push-based streaming shuffle.
+
+    Reserves one spill-segment name per map task up front (see
+    :class:`~repro.mapreduce.shm.SpillSet` — driver-chosen names are what
+    make post-crash sweeping possible), records each map task's
+    :class:`_RunCommit` as it lands, and tells the scheduler which reduce
+    partitions became ready: partition *p* is ready the moment every map
+    task has committed its partition-*p* run. ``close()`` sweeps every
+    spill segment and is safe to call from ``finally`` while tasks may
+    still be in flight (a reduce task racing the sweep fails its attach,
+    which surfaces through its future like any other task error).
+    """
+
+    def __init__(self, job: MapReduceJob, num_splits: int) -> None:
+        self.num_partitions = job.num_reducers
+        self._commits: List[Optional[_RunCommit]] = [None] * num_splits
+        self._pending = num_splits
+        self._spills: Optional[shm_mod.SpillSet] = (
+            shm_mod.SpillSet(num_splits) if shm_mod.HAVE_SHARED_MEMORY else None
+        )
+
+    def spill_name(self, split_index: int) -> Optional[str]:
+        """The segment name reserved for one map task (None → ship inline)."""
+        if self._spills is None:
+            return None
+        return self._spills.name_for(split_index)
+
+    def commit(self, split_index: int, commit: _RunCommit) -> List[int]:
+        """Record one map task's runs; return partitions that became ready.
+
+        Map tasks commit all their runs atomically on completion, so every
+        partition's last missing run is supplied by the last map task to
+        finish — the returned list is empty until then, and the full
+        partition range exactly once. The per-partition phrasing is the
+        scheduling contract, not the implementation: a finer-grained
+        committer (incremental spills) would slot in here without touching
+        the scheduler.
+        """
+        assert self._commits[split_index] is None, "map task committed twice"
+        self._commits[split_index] = commit
+        self._pending -= 1
+        if self._pending == 0:
+            return list(range(self.num_partitions))
+        return []
+
+    def locators(self, partition_index: int) -> List[_RunLocator]:
+        """Partition *p*'s run locators, in split-index order."""
+        out: List[_RunLocator] = []
+        for commit in self._commits:
+            assert commit is not None, "partition scheduled before all runs committed"
+            out.append(commit.locator(partition_index))
+        return out
+
+    def close(self) -> None:
+        """Sweep all spill segments (idempotent)."""
+        if self._spills is not None:
+            self._spills.release()
+
+
+def _run_streaming_schedule(
+    job: MapReduceJob,
+    splits: Sequence[InputSplit],
+    submit_map: Callable[[InputSplit, Optional[str]], "Future[Tuple[TaskRecord, _RunCommit]]"],
+    submit_reduce: Callable[[int, List[_RunLocator]], "Future[Tuple[List[Any], TaskRecord, int]]"],
+) -> JobResult:
+    """The as_completed scheduler shared by ProcessExecutor and WorkerPool.
+
+    Map completions are consumed in *completion* order (a straggler split 0
+    no longer delays retrieval of splits 1..n the way ``pool.map``'s
+    submission-order iteration does), and reduce task *p* is submitted the
+    instant :class:`ShuffleService` reports its last input run committed —
+    reduce dispatch overlaps the tail of the map phase instead of waiting
+    behind a barrier plus a driver-side serial shuffle. Determinism is
+    unaffected by any of this reordering: runs are concatenated in
+    split-index order inside each reduce task and results are assembled by
+    partition index.
+    """
+    service = ShuffleService(job, len(splits))
+    try:
+        map_futures = {
+            submit_map(split, service.spill_name(split.index)): split.index
+            for split in splits
+        }
+        map_records: List[Optional[TaskRecord]] = [None] * len(splits)
+        reduce_futures: Dict["Future[Tuple[List[Any], TaskRecord, int]]", int] = {}
+        for fut in as_completed(map_futures):
+            split_index = map_futures[fut]
+            rec, commit = fut.result()
+            map_records[split_index] = rec
+            for p in service.commit(split_index, commit):
+                reduce_futures[submit_reduce(p, service.locators(p))] = p
+
+        outputs: List[List[Any]] = [[] for _ in range(job.num_reducers)]
+        reduce_records: List[Optional[TaskRecord]] = [None] * job.num_reducers
+        shuffle_keys = 0
+        for fut in as_completed(reduce_futures):
+            p = reduce_futures[fut]
+            out, rec, distinct_keys = fut.result()
+            outputs[p] = out
+            reduce_records[p] = rec
+            # Partitions hold disjoint key sets (one partitioner assignment
+            # per key), so the per-partition counts sum to the job total.
+            shuffle_keys += distinct_keys
+        records = [r for r in map_records if r is not None]
+        records.extend(r for r in reduce_records if r is not None)
+        return JobResult(outputs=outputs, records=records, shuffle_keys=shuffle_keys)
+    finally:
+        service.close()
+
+
 class ProcessExecutor:
     """Run map and reduce tasks on a :class:`ProcessPoolExecutor`.
 
@@ -258,19 +546,30 @@ class ProcessExecutor:
     start_method:
         Optional multiprocessing start method (``"fork"``, ``"spawn"``,
         ``"forkserver"``); ``None`` uses the platform default.
+    shuffle:
+        ``"barrier"`` (default) or ``"streaming"`` — see the module
+        docstring and :class:`ShuffleService`.
     """
 
     kind = "processes"
 
     def __init__(
-        self, max_workers: Optional[int] = None, start_method: Optional[str] = None
+        self,
+        max_workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+        shuffle: str = "barrier",
     ) -> None:
         if max_workers is None:
             max_workers = os.cpu_count() or 1
         if max_workers <= 0:
             raise ValueError(f"max_workers must be positive, got {max_workers}")
+        if shuffle not in SHUFFLE_KINDS:
+            raise ValueError(
+                f"unknown shuffle {shuffle!r}; expected one of {SHUFFLE_KINDS}"
+            )
         self.max_workers = max_workers
         self.start_method = start_method
+        self.shuffle = shuffle
 
     # ------------------------------------------------------------------ #
 
@@ -300,12 +599,27 @@ class ProcessExecutor:
         self, job: MapReduceJob, job_bytes: bytes, splits: Sequence[InputSplit]
     ) -> JobResult:
         ctx = multiprocessing.get_context(self.start_method)
+        # The one pool serves both phases, so size it for whichever phase is
+        # wider — capping at len(splits) alone silently serializes reduce
+        # tasks whenever num_reducers > len(splits).
+        tasks_in_flight = max(1, len(splits), job.num_reducers)
         with ProcessPoolExecutor(
-            max_workers=min(self.max_workers, max(1, len(splits))),
+            max_workers=min(self.max_workers, tasks_in_flight),
             mp_context=ctx,
             initializer=_process_worker_init,
             initargs=(job_bytes,),
         ) as pool:
+            if self.shuffle == "streaming":
+                return _run_streaming_schedule(
+                    job,
+                    splits,
+                    lambda split, name: pool.submit(
+                        _process_streaming_map_task, (split, name)
+                    ),
+                    lambda p, locators: pool.submit(
+                        _process_streaming_reduce_task, (p, locators)
+                    ),
+                )
             # pool.map yields results in submission order: map outputs come
             # back indexed by split, reducer outputs by partition.
             map_results = list(pool.map(_process_map_task, splits))
@@ -395,6 +709,24 @@ def _pool_reduce_task(
     )
 
 
+def _pool_streaming_map_task(
+    item: Tuple[_JobRef, InputSplit, Optional[str]]
+) -> Tuple[TaskRecord, _RunCommit]:
+    ref, split, spill_name = item
+    return _streaming_measure_map(
+        _pool_load_job(ref), split, spill_name, executor=WorkerPool.kind
+    )
+
+
+def _pool_streaming_reduce_task(
+    item: Tuple[_JobRef, int, List[_RunLocator]]
+) -> Tuple[List[Any], TaskRecord, int]:
+    ref, partition_index, locators = item
+    return _streaming_measure_reduce(
+        _pool_load_job(ref), partition_index, locators, executor=WorkerPool.kind
+    )
+
+
 class WorkerPool:
     """A persistent process pool reused across MapReduce jobs.
 
@@ -419,16 +751,23 @@ class WorkerPool:
     kind = "processes"
 
     def __init__(
-        self, max_workers: Optional[int] = None, start_method: Optional[str] = None
+        self,
+        max_workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+        shuffle: str = "barrier",
     ) -> None:
         if max_workers is None:
             max_workers = os.cpu_count() or 1
         if max_workers <= 0:
             raise ValueError(f"max_workers must be positive, got {max_workers}")
+        if shuffle not in SHUFFLE_KINDS:
+            raise ValueError(
+                f"unknown shuffle {shuffle!r}; expected one of {SHUFFLE_KINDS}"
+            )
         self.max_workers = max_workers
         self.start_method = start_method
+        self.shuffle = shuffle
         self._pool: Optional[ProcessPoolExecutor] = None
-        self._counter = itertools.count()
 
     # ------------------------------------------------------------------ #
 
@@ -443,7 +782,12 @@ class WorkerPool:
     def _publish_job(
         self, job_bytes: bytes
     ) -> Tuple[_JobRef, Optional["shm_mod._shm_module.SharedMemory"]]:
-        key = f"job-{os.getpid()}-{next(self._counter)}"
+        # Content-addressed: re-submitting the same job (a pickled-identical
+        # blob) hits the per-worker LRU, so its setup hook runs once per
+        # worker for the whole pool lifetime — not once per run. A
+        # per-instance counter key defeated the cache on every run, and two
+        # pools in one process could mint colliding keys for different jobs.
+        key = hashlib.sha256(job_bytes).hexdigest()
         if shm_mod.HAVE_SHARED_MEMORY:
             try:
                 seg = shm_mod.publish_bytes(job_bytes)
@@ -490,6 +834,17 @@ class WorkerPool:
         self, job: MapReduceJob, ref: _JobRef, splits: Sequence[InputSplit]
     ) -> JobResult:
         pool = self._ensure_pool()
+        if self.shuffle == "streaming":
+            return _run_streaming_schedule(
+                job,
+                splits,
+                lambda split, name: pool.submit(
+                    _pool_streaming_map_task, (ref, split, name)
+                ),
+                lambda p, locators: pool.submit(
+                    _pool_streaming_reduce_task, (ref, p, locators)
+                ),
+            )
         # pool.map yields results in submission order: map outputs come
         # back indexed by split, reducer outputs by partition.
         map_results = list(pool.map(_pool_map_task, [(ref, s) for s in splits]))
@@ -544,7 +899,9 @@ class WorkerPool:
 
 
 def resolve_executor(
-    spec: Union[str, Executor, None], max_workers: Optional[int] = None
+    spec: Union[str, Executor, None],
+    max_workers: Optional[int] = None,
+    shuffle: str = "barrier",
 ) -> Executor:
     """Turn an executor spec (name or instance) into an executor.
 
@@ -553,14 +910,16 @@ def resolve_executor(
     and ``"processes"`` build the corresponding pool with ``max_workers``
     workers; ``"sanitizer"`` builds the race-detecting
     :class:`repro.analysis.sanitizer.SanitizerExecutor`; an object with a
-    ``run`` method passes through unchanged.
+    ``run`` method passes through unchanged. ``shuffle`` selects the
+    process-backed shuffle mode (in-process executors have no cross-process
+    data movement to stream, so they ignore it).
     """
     if spec is None or spec == "serial":
         return SerialExecutor()
     if spec == "threads":
         return ThreadedExecutor(max_workers=max_workers or 4)
     if spec == "processes":
-        return ProcessExecutor(max_workers=max_workers)
+        return ProcessExecutor(max_workers=max_workers, shuffle=shuffle)
     if spec == "sanitizer":
         # Imported lazily: repro.analysis depends on this module.
         from repro.analysis.sanitizer import SanitizerExecutor

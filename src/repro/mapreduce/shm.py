@@ -73,16 +73,21 @@ def _require_shm() -> None:
 # --------------------------------------------------------------------------- #
 
 
-def create_segment(size: int, data: Optional[bytes] = None) -> "_shm_module.SharedMemory":
+def create_segment(
+    size: int, data: Optional[bytes] = None, name: Optional[str] = None
+) -> "_shm_module.SharedMemory":
     """Create one shared segment of at least ``size`` bytes (min 1).
 
-    ``data``, when given, is copied in before the segment is returned. If
-    anything fails after creation the segment is closed *and unlinked* in
-    the paired ``finally`` — a half-initialized segment must never outlive
-    this call.
+    ``data``, when given, is copied in before the segment is returned.
+    ``name`` pins the segment name (the streaming shuffle's spill
+    segments are named by the *driver* so it can sweep them even if the
+    creating worker dies before reporting); ``None`` lets the platform
+    pick one. If anything fails after creation the segment is closed *and
+    unlinked* in the paired ``finally`` — a half-initialized segment must
+    never outlive this call.
     """
     _require_shm()
-    seg = _shm_module.SharedMemory(create=True, size=max(1, int(size)))
+    seg = _shm_module.SharedMemory(name=name, create=True, size=max(1, int(size)))
     ok = False
     try:
         if data is not None:
@@ -150,6 +155,124 @@ def read_bytes(name: str, size: int) -> bytes:
         return bytes(seg.buf[:size])
     finally:
         seg.close()
+
+
+def read_segment_slice(name: str, start: int, length: int) -> bytes:
+    """Copy ``[start, start+length)`` out of segment ``name``, then detach.
+
+    The streaming shuffle's reduce tasks use this to pull exactly their
+    partition's run out of a map task's spill segment, without touching
+    (or unpickling) the other partitions' bytes.
+    """
+    seg = attach_segment(name)
+    try:
+        return bytes(seg.buf[start : start + length])
+    finally:
+        seg.close()
+
+
+def ensure_resource_tracker() -> None:
+    """Start this process's resource tracker if it is not already running.
+
+    Forked pool workers inherit the tracker fd only if the tracker exists
+    at fork time. The streaming shuffle's first shm activity is a *worker*
+    creating a spill segment — without this pre-start, each forked worker
+    would lazily spawn its own private tracker, whose registrations the
+    driver's sweep can never balance (harmless but noisy ``ENOENT``
+    warnings at worker exit). The driver calls this before forking workers
+    (``spawn`` children receive the fd via preparation data regardless).
+    """
+    if not HAVE_SHARED_MEMORY:  # pragma: no cover - platform without shm
+        return
+    from multiprocessing import resource_tracker
+
+    resource_tracker.ensure_running()
+
+
+def sweep_segment(name: str) -> bool:
+    """Unlink segment ``name`` if it exists; ``True`` when one was removed.
+
+    The reclamation primitive for driver-chosen segment names: attach (so
+    the mapping can be closed), then close + unlink. A missing segment is
+    not an error — sweeping is idempotent by design, so cleanup paths can
+    sweep every name they *might* have caused to exist.
+    """
+    try:
+        seg = attach_segment(name)
+    except FileNotFoundError:
+        return False
+    destroy_segment(seg)
+    return True
+
+
+# --------------------------------------------------------------------------- #
+# spill-segment sets (streaming-shuffle intermediate data)
+# --------------------------------------------------------------------------- #
+
+#: Spill sets created (and not yet released) by this process; drained by the
+#: atexit hook below so an abandoned streaming-shuffle job never leaks its
+#: intermediate runs — the same discipline as ``_LIVE_PLANES``.
+_LIVE_SPILL_SETS: Dict[str, "SpillSet"] = {}
+_SPILL_COUNTER = itertools.count()
+
+
+def _cleanup_live_spill_sets() -> None:
+    # Release order is immaterial (sets are independent); the list() only
+    # guards against mutation while iterating.
+    for spill_set in list(_LIVE_SPILL_SETS.values()):  # orionlint: disable=ORL004
+        spill_set.release()
+
+
+atexit.register(_cleanup_live_spill_sets)
+
+
+class SpillSet:
+    """Driver-side owner of one streaming-shuffle job's spill segments.
+
+    The driver mints one deterministic name per map task up front
+    (``orionspill_{pid}_{job#}_{split:05d}``); workers create segments
+    *under those names* via :func:`create_segment` and detach after
+    writing, so ownership of every possible segment rests with the driver
+    from the start. :meth:`release` sweeps every name — segments that were
+    never created (inline fallback), already swept, or orphaned by a
+    worker that crashed between create and report are all covered by the
+    same idempotent :func:`sweep_segment` call. Until released, the set
+    sits in a module registry drained at interpreter exit, mirroring the
+    database plane's atexit backstop.
+    """
+
+    def __init__(self, num_segments: int) -> None:
+        ensure_resource_tracker()
+        token = f"{os.getpid()}_{next(_SPILL_COUNTER)}"
+        self.set_id = f"orionspill_{token}"
+        self._names: Tuple[str, ...] = tuple(
+            f"{self.set_id}_{i:05d}" for i in range(num_segments)
+        )
+        self._released = False
+        _LIVE_SPILL_SETS[self.set_id] = self
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return self._names
+
+    def name_for(self, split_index: int) -> str:
+        """The spill segment name reserved for one map task."""
+        return self._names[split_index]
+
+    def release(self) -> None:
+        """Sweep every segment of this set (idempotent)."""
+        if self._released:
+            return
+        self._released = True
+        _LIVE_SPILL_SETS.pop(self.set_id, None)
+        for name in self._names:
+            sweep_segment(name)
+
+    def __enter__(self) -> "SpillSet":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
 
 
 # --------------------------------------------------------------------------- #

@@ -75,7 +75,10 @@ def run_streaming_job(
     """
     if lines_per_split <= 0:
         raise ValueError(f"lines_per_split must be positive, got {lines_per_split}")
-    lines = [ln for ln in input_lines if ln.strip()]
+    # Only genuinely empty lines are dropped: Hadoop streaming delivers
+    # whitespace-only lines (e.g. "  ") to the mapper as records, so
+    # filtering on .strip() would silently change the record stream.
+    lines = [ln for ln in input_lines if ln.strip("\r\n")]
     splits = [
         InputSplit(index=i, payload=lines[j : j + lines_per_split])
         for i, j in enumerate(range(0, len(lines), lines_per_split))

@@ -46,6 +46,13 @@ class TaskRecord:
     ``contended`` flags durations taken while other tasks shared the same
     interpreter (thread pools under the GIL). Only serial, uncontended
     measurements are valid simulator inputs — see :attr:`simulator_safe`.
+
+    ``shuffle_bytes_out`` (map tasks) and ``shuffle_bytes_in`` (reduce
+    tasks) count the pickled intermediate bytes this task pushed into /
+    pulled out of the shuffle. The streaming shuffle populates them so
+    benchmarks can report moved bytes alongside wall time; the barrier
+    shuffle leaves them 0 (its data movement happens driver-side, outside
+    any task).
     """
 
     task_id: str
@@ -55,17 +62,29 @@ class TaskRecord:
     output_records: int = 0
     executor: str = "serial"
     contended: bool = False
+    shuffle_bytes_in: int = 0
+    shuffle_bytes_out: int = 0
 
     def __post_init__(self) -> None:
         if self.duration < 0:
             raise ValueError(f"duration must be non-negative, got {self.duration}")
         if not self.task_id:
             raise ValueError("task_id must be non-empty")
+        if self.shuffle_bytes_in < 0 or self.shuffle_bytes_out < 0:
+            raise ValueError("shuffle byte counts must be non-negative")
 
     @property
     def simulator_safe(self) -> bool:
-        """Whether this duration may be replayed as a serial measurement."""
-        return self.executor == "serial" and not self.contended
+        """Whether this duration may be replayed as a serial measurement.
+
+        True for serial measurements and for thread-pool measurements whose
+        phase had only one task in flight (``contended=False``): a pool
+        that degenerates to one task at a time executes in-process with no
+        GIL interference, so its wall-clock is a serial measurement.
+        Process-backed records stay excluded — their durations are real but
+        taken under whole-machine load the simulator does not model.
+        """
+        return not self.contended and self.executor in ("serial", "threads")
 
     def scaled(self, factor: float) -> "TaskRecord":
         """Copy with duration multiplied (hardware-model application)."""
@@ -79,6 +98,8 @@ class TaskRecord:
             output_records=self.output_records,
             executor=self.executor,
             contended=self.contended,
+            shuffle_bytes_in=self.shuffle_bytes_in,
+            shuffle_bytes_out=self.shuffle_bytes_out,
         )
 
 

@@ -1,10 +1,12 @@
 """Tests for executors: correctness, determinism, task records."""
 
 import pickle
+import time
 
 import pytest
 
 from repro.mapreduce import runtime as runtime_mod
+from repro.mapreduce import shm as shm_mod
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.runtime import (
     EXECUTOR_KINDS,
@@ -37,6 +39,27 @@ def _install_offset():
 def _offset_mapper(split):
     for x in split.payload:
         yield x % 5, x + _SETUP_STATE["offset"]
+
+
+#: Long enough that one reduce wave vs two is visible over pool startup
+#: noise (sleeps need no CPU, so this is robust on single-core CI too).
+_REDUCE_SLEEP = 1.5
+
+
+def _sleeping_reducer(key, values):
+    time.sleep(_REDUCE_SLEEP)
+    yield key, sum(values)
+
+
+def _mod4_mapper(split):
+    for x in split.payload:
+        yield x % 4, x
+
+
+def _identity_partitioner(key, num_reducers):
+    # One key per partition: every reduce task sleeps exactly once, making
+    # the number of reduce waves directly readable from the wall clock.
+    return key % num_reducers
 
 
 def make_job(n_red=2):
@@ -149,6 +172,24 @@ class TestThreadedExecutor:
         result = ThreadedExecutor(1).run(make_job(2), make_splits(3))
         assert all(not r.contended for r in result.records)
 
+    def test_contended_computed_per_phase(self):
+        """Regression: a phase with one task in flight is uncontended even
+        on a wide pool — a blanket ``max_workers > 1`` flag wrongly
+        excluded those valid durations from ``simulator_safe``."""
+        result = ThreadedExecutor(4).run(make_job(1), make_splits(5))
+        assert all(r.contended for r in result.map_records())
+        (reduce_rec,) = result.reduce_records()
+        assert not reduce_rec.contended
+        assert reduce_rec.simulator_safe
+
+    def test_single_split_map_phase_not_contended(self):
+        result = ThreadedExecutor(4).run(make_job(3), make_splits(1))
+        (map_rec,) = result.map_records()
+        assert not map_rec.contended
+        assert map_rec.simulator_safe
+        assert all(r.contended for r in result.reduce_records())
+        assert not any(r.simulator_safe for r in result.reduce_records())
+
 
 class TestProcessExecutor:
     def test_matches_serial(self):
@@ -233,6 +274,92 @@ class TestProcessExecutor:
         params = list(inspect.signature(runtime_mod._process_map_task).parameters)
         assert params == ["split"]
 
+    def test_pool_sized_for_reduce_phase(self, monkeypatch):
+        """Regression: one pool serves both phases, so it must be sized by
+        ``max(len(splits), num_reducers)`` — sizing by splits alone
+        silently serializes reduce phases wider than the map phase."""
+        sizes = []
+        real_pool = runtime_mod.ProcessPoolExecutor
+
+        def recording_pool(*args, **kwargs):
+            sizes.append(kwargs["max_workers"])
+            return real_pool(*args, **kwargs)
+
+        monkeypatch.setattr(runtime_mod, "ProcessPoolExecutor", recording_pool)
+        job = MapReduceJob(
+            mapper=_mod4_mapper,
+            reducer=_sleeping_reducer,
+            num_reducers=4,
+            partitioner=_identity_partitioner,
+            name="w",
+        )
+        start = time.monotonic()
+        result = ProcessExecutor(max_workers=8).run(job, make_splits(2))
+        wall = time.monotonic() - start
+        assert sizes == [4]
+        totals = dict(result.flat_outputs())
+        assert totals == {k: sum(x for x in range(20) if x % 4 == k) for k in range(4)}
+        # Each partition holds exactly one key, so all four reduce tasks
+        # sleep once and ran in one wave. A pool capped at len(splits)=2
+        # needs two waves, so its reduce phase alone takes ≥ 2×_REDUCE_SLEEP.
+        assert wall < 2 * _REDUCE_SLEEP
+
+
+class TestStreamingShuffle:
+    def test_matches_serial(self):
+        job = make_job(3)
+        splits = make_splits(8)
+        serial = SerialExecutor().run(job, splits)
+        stream = ProcessExecutor(max_workers=2, shuffle="streaming").run(job, splits)
+        assert stream.outputs == serial.outputs
+        assert stream.shuffle_keys == serial.shuffle_keys
+
+    def test_record_order_and_shuffle_bytes(self):
+        """Records stay in split/partition order despite as_completed
+        scheduling, and map spill bytes balance reduce fetch bytes."""
+        result = ProcessExecutor(max_workers=2, shuffle="streaming").run(
+            make_job(3), make_splits(6)
+        )
+        assert [r.task_id for r in result.map_records()] == [
+            f"t/map/{i:05d}" for i in range(6)
+        ]
+        assert [r.task_id for r in result.reduce_records()] == [
+            f"t/reduce/{i:05d}" for i in range(3)
+        ]
+        out_bytes = sum(r.shuffle_bytes_out for r in result.map_records())
+        in_bytes = sum(r.shuffle_bytes_in for r in result.reduce_records())
+        assert out_bytes == in_bytes > 0
+
+    def test_empty_partitions(self):
+        """More reducers than keys: empty runs (zero-length slices) flow
+        through the streaming shuffle without pickling or attaching."""
+        job = make_job(8)  # only 5 distinct keys exist
+        splits = make_splits(1)
+        serial = SerialExecutor().run(job, splits)
+        stream = ProcessExecutor(max_workers=2, shuffle="streaming").run(job, splits)
+        assert stream.outputs == serial.outputs
+
+    def test_inline_fallback_without_shm(self, monkeypatch):
+        """With shared memory unavailable, runs ride inline through the
+        result pipe — same outputs, bytes still accounted."""
+        monkeypatch.setattr(shm_mod, "HAVE_SHARED_MEMORY", False)
+        job = make_job(2)
+        splits = make_splits(4)
+        stream = ProcessExecutor(max_workers=2, shuffle="streaming").run(job, splits)
+        assert dict(stream.flat_outputs()) == expected_totals(4)
+        assert sum(r.shuffle_bytes_out for r in stream.map_records()) > 0
+
+    def test_barrier_leaves_shuffle_bytes_zero(self):
+        result = ProcessExecutor(max_workers=2).run(make_job(2), make_splits(4))
+        assert all(r.shuffle_bytes_out == 0 for r in result.map_records())
+        assert all(r.shuffle_bytes_in == 0 for r in result.reduce_records())
+
+    def test_unknown_shuffle_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessExecutor(max_workers=2, shuffle="wat")
+        with pytest.raises(ValueError):
+            runtime_mod.WorkerPool(max_workers=2, shuffle="wat")
+
 
 class TestResolveExecutor:
     def test_names(self):
@@ -241,6 +368,11 @@ class TestResolveExecutor:
         assert resolve_executor("threads", 3).max_workers == 3
         assert resolve_executor("processes", 2).max_workers == 2
         assert set(EXECUTOR_KINDS) == {"serial", "threads", "processes"}
+
+    def test_shuffle_passthrough(self):
+        assert resolve_executor("processes", 2).shuffle == "barrier"
+        assert resolve_executor("processes", 2, shuffle="streaming").shuffle == "streaming"
+        assert set(runtime_mod.SHUFFLE_KINDS) == {"barrier", "streaming"}
 
     def test_instance_passthrough(self):
         ex = ThreadedExecutor(2)

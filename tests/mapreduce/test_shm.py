@@ -84,6 +84,21 @@ def make_job(mapper=_mod5_mapper, n_red=2):
     return MapReduceJob(mapper=mapper, reducer=_sum_reducer, num_reducers=n_red, name="t")
 
 
+# Worker-side observable for the setup-runs-once test: the offset a setup
+# run installs is baked into every mapped value, so a re-run of setup in a
+# worker shows up as shifted sums in that worker's output.
+_POOL_SETUP = {"offset": 0}
+
+
+def _accumulating_setup():
+    _POOL_SETUP["offset"] += 1000
+
+
+def _setup_offset_mapper(split):
+    for x in split.payload:
+        yield x % 5, x + _POOL_SETUP["offset"]
+
+
 def make_splits(n=6, width=10):
     return [
         InputSplit(index=i, payload=list(range(i * width, (i + 1) * width)))
@@ -327,3 +342,90 @@ class TestWorkerPool:
     def test_rejects_nonpositive_workers(self):
         with pytest.raises(ValueError):
             WorkerPool(max_workers=0)
+
+    def test_repeated_job_runs_setup_once_per_worker(self):
+        """Re-submitting a pickled-identical job must hit the per-worker job
+        cache, not re-publish under a fresh key and re-run ``setup``.
+
+        The setup hook shifts every mapped value by 1000, so a second setup
+        run in any worker would show up as inflated sums on the re-run.
+        """
+        _POOL_SETUP["offset"] = 0
+        job = MapReduceJob(
+            mapper=_setup_offset_mapper,
+            reducer=_sum_reducer,
+            num_reducers=2,
+            setup=_accumulating_setup,
+            name="t",
+        )
+        with WorkerPool(max_workers=2) as pool:
+            r1 = pool.run(job, make_splits())
+            r2 = pool.run(job, make_splits())
+        totals = dict(kv for out in r1.outputs for kv in out)
+        # 60 inputs, each shifted by exactly one setup run's 1000.
+        assert sum(totals.values()) == sum(range(60)) + 1000 * 60
+        assert r1.outputs == r2.outputs
+        assert _POOL_SETUP["offset"] == 0, "setup must run in workers only"
+
+
+# --------------------------------------------------------------------------- #
+# streaming-shuffle spill sets
+# --------------------------------------------------------------------------- #
+
+
+class TestSpillSet:
+    def test_names_are_deterministic_and_driver_owned(self):
+        with shm_mod.SpillSet(3) as spills:
+            assert spills.names == tuple(
+                f"{spills.set_id}_{i:05d}" for i in range(3)
+            )
+            assert spills.name_for(2) == spills.names[2]
+            assert spills.set_id.startswith(f"orionspill_{os.getpid()}_")
+        # Distinct sets in one process must never collide.
+        s1, s2 = shm_mod.SpillSet(1), shm_mod.SpillSet(1)
+        try:
+            assert s1.name_for(0) != s2.name_for(0)
+        finally:
+            s1.release()
+            s2.release()
+
+    def test_release_sweeps_created_segments_and_is_idempotent(self):
+        spills = shm_mod.SpillSet(3)
+        # Simulate two workers spilling (one name intentionally left
+        # uncreated: the inline-fallback / crashed-worker case).
+        for i in (0, 2):
+            seg = create_segment(8, b"run-data", name=spills.name_for(i))
+            seg.close()
+        assert segment_exists(spills.name_for(0))
+        spills.release()
+        assert not any(segment_exists(n) for n in spills.names)
+        spills.release()  # second release: no-op, no error
+
+    def test_read_segment_slice_pulls_one_run(self):
+        spills = shm_mod.SpillSet(1)
+        try:
+            name = spills.name_for(0)
+            create_segment(12, b"aaaabbbbcccc", name=name).close()
+            assert shm_mod.read_segment_slice(name, 4, 4) == b"bbbb"
+            assert shm_mod.read_segment_slice(name, 0, 0) == b""
+        finally:
+            spills.release()
+
+    def test_cleanup_hook_reclaims_unreleased_sets(self):
+        spills = shm_mod.SpillSet(2)
+        create_segment(4, b"left", name=spills.name_for(1)).close()
+        assert spills.set_id in shm_mod._LIVE_SPILL_SETS
+        shm_mod._cleanup_live_spill_sets()
+        assert spills.set_id not in shm_mod._LIVE_SPILL_SETS
+        assert not any(segment_exists(n) for n in spills.names)
+
+    def test_sweep_segment_reports_removal(self):
+        spills = shm_mod.SpillSet(1)
+        try:
+            name = spills.name_for(0)
+            assert shm_mod.sweep_segment(name) is False
+            create_segment(4, b"data", name=name).close()
+            assert shm_mod.sweep_segment(name) is True
+            assert shm_mod.sweep_segment(name) is False
+        finally:
+            spills.release()

@@ -37,9 +37,36 @@ class TestRunStreamingJob:
         out, _ = run_streaming_job(["k", "k", "j"], mapper, reducer)
         assert sorted(out) == ["j=1", "k=2"]
 
-    def test_blank_lines_skipped(self):
-        out, _ = run_streaming_job(["", "a,x", "  "], upper_mapper, join_reducer)
-        assert out == ["a:X"]
+    def test_empty_lines_skipped_whitespace_lines_kept(self):
+        # Hadoop streaming delivers whitespace-only lines to the mapper;
+        # only genuinely empty lines (bare newlines) are dropped.
+        seen = []
+
+        def mapper(line):
+            seen.append(line)
+            yield f"n\t{line!r}"
+
+        def reducer(key, values):
+            yield from values
+
+        out, _ = run_streaming_job(["", "a,x", "  ", "\n", "\t"], mapper, reducer)
+        assert seen == ["a,x", "  ", "\t"]
+        assert sorted(out) == sorted(["'a,x'", "'  '", "'\\t'"])
+
+    def test_whitespace_lines_round_trip(self):
+        # A whitespace-only record must survive map → shuffle → reduce and
+        # come back out intact, like any other record.
+        def mapper(line):
+            yield f"count\t{line}"
+
+        def reducer(key, values):
+            yield f"{key}={len(values)}"
+            for v in values:
+                yield v
+
+        out, result = run_streaming_job(["  ", " \t "], mapper, reducer)
+        assert out == ["count=2", "  ", " \t "]
+        assert len(result.map_records()) == 2
 
     def test_multiple_reducers_cover_all_keys(self):
         lines = [f"k{i},v" for i in range(20)]

@@ -7,6 +7,8 @@ Hadoop-streaming mode, both strands) and ``parallel_sort_alignments`` and
 require field-identical output, down to the alignment paths.
 """
 
+import os
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -15,6 +17,10 @@ from hypothesis import strategies as st
 from repro.blast.hsp import Alignment
 from repro.core.orion import OrionSearch
 from repro.core.sortmr import parallel_sort_alignments
+from repro.mapreduce import shm as shm_mod
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.runtime import ProcessExecutor, SerialExecutor, WorkerPool
+from repro.mapreduce.types import InputSplit
 from repro.sequence.generator import (
     HomologySpec,
     make_database,
@@ -53,7 +59,15 @@ def tiny_query(tiny_db):
     return query
 
 
-def run_orion(db, query, executor, use_streaming=False, strands="plus", shared_db=None):
+def run_orion(
+    db,
+    query,
+    executor,
+    use_streaming=False,
+    strands="plus",
+    shared_db=None,
+    shuffle="barrier",
+):
     search = OrionSearch(
         database=db,
         num_shards=4,
@@ -62,6 +76,7 @@ def run_orion(db, query, executor, use_streaming=False, strands="plus", shared_d
         use_streaming=use_streaming,
         executor=executor,
         num_workers=2,
+        shuffle=shuffle,
         shared_db=shared_db,
     )
     try:
@@ -118,6 +133,149 @@ def test_serial_records_simulator_safe_processes_not(tiny_db, tiny_query):
     assert serial.mapreduce_wall_seconds > 0
     proc = run_orion(tiny_db, tiny_query, "processes")
     assert proc.executor_kind == "processes"
+
+
+# --------------------------------------------------------------------------- #
+# streaming shuffle == barrier shuffle
+# --------------------------------------------------------------------------- #
+
+
+def _orionspill_segments():
+    """Live streaming-shuffle spill segments (Linux probe; empty elsewhere)."""
+    try:
+        return {n for n in os.listdir("/dev/shm") if n.startswith("orionspill_")}
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
+
+
+# Module-level word-count job pieces: picklable under fork and spawn alike.
+_WORDS = ("orion", "blast", "shuffle", "spill", "reduce", "merge", "seed", "hit")
+
+
+def _wc_mapper(split):
+    for line in split.payload:
+        for word in line.split():
+            yield word, 1
+
+
+def _count_reducer(key, values):
+    yield key, sum(values)
+
+
+def _sum_combiner(key, values):
+    yield sum(values)
+
+
+class _CrashInWorkerReducer:
+    """Kills every pool worker mid-reduce; harmless in the parent, so the
+    serial fallback completes (mirrors test_shm's crashing mapper)."""
+
+    def __init__(self, parent_pid):
+        self.parent_pid = parent_pid
+
+    def __call__(self, key, values):
+        if os.getpid() != self.parent_pid:
+            os._exit(13)
+        yield key, sum(values)
+
+
+def _word_splits(n=6, lines=8):
+    return [
+        InputSplit(
+            index=i,
+            payload=[
+                " ".join(_WORDS[(i + j + k) % len(_WORDS)] for k in range(5))
+                for j in range(lines)
+            ],
+        )
+        for i in range(n)
+    ]
+
+
+def _wc_job(with_combiner=False, reducer=_count_reducer):
+    return MapReduceJob(
+        mapper=_wc_mapper,
+        reducer=reducer,
+        num_reducers=3,
+        combiner=_sum_combiner if with_combiner else None,
+        name="wc",
+    )
+
+
+class TestStreamingShuffleEquivalence:
+    """The push-based shuffle changes *when* reduce tasks start, never what
+    they produce — and must never leave a spill segment behind."""
+
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    @pytest.mark.parametrize("with_combiner", [False, True])
+    def test_streaming_equals_barrier(self, start_method, with_combiner):
+        before = _orionspill_segments()
+        serial = SerialExecutor().run(_wc_job(with_combiner), _word_splits())
+        streaming = ProcessExecutor(
+            max_workers=2, start_method=start_method, shuffle="streaming"
+        ).run(_wc_job(with_combiner), _word_splits())
+        barrier = ProcessExecutor(max_workers=2, start_method=start_method).run(
+            _wc_job(with_combiner), _word_splits()
+        )
+        assert streaming.outputs == barrier.outputs == serial.outputs
+        assert streaming.shuffle_keys == serial.shuffle_keys
+        assert all(r.executor == "processes" for r in streaming.records)
+        # Every spilled byte must be accounted for on the reduce side.
+        out_bytes = sum(r.shuffle_bytes_out for r in streaming.map_records())
+        in_bytes = sum(r.shuffle_bytes_in for r in streaming.reduce_records())
+        assert out_bytes == in_bytes > 0
+        assert _orionspill_segments() - before == set()
+
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_worker_pool_streaming_repeat_runs(self, start_method):
+        before = _orionspill_segments()
+        serial = SerialExecutor().run(_wc_job(True), _word_splits())
+        with WorkerPool(
+            max_workers=2, start_method=start_method, shuffle="streaming"
+        ) as pool:
+            r1 = pool.run(_wc_job(True), _word_splits())
+            r2 = pool.run(_wc_job(True), _word_splits())
+        assert r1.outputs == r2.outputs == serial.outputs
+        assert all(r.executor == "processes" for r in r1.records)
+        assert _orionspill_segments() - before == set()
+
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_reduce_crash_sweeps_spill_segments(self, start_method):
+        """Workers die *after* spilling map output; the driver must still
+        sweep every spill segment and recover via the serial fallback."""
+        before = _orionspill_segments()
+        job = _wc_job(reducer=_CrashInWorkerReducer(os.getpid()))
+        ex = ProcessExecutor(
+            max_workers=2, start_method=start_method, shuffle="streaming"
+        )
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            result = ex.run(job, _word_splits())
+        serial = SerialExecutor().run(_wc_job(), _word_splits())
+        assert result.outputs == serial.outputs
+        assert all(r.executor == "serial" for r in result.records)
+        assert _orionspill_segments() - before == set()
+
+    def test_streaming_without_shm_matches(self, monkeypatch):
+        """Inline-fallback locators (no shared memory at all) stay exact."""
+        monkeypatch.setattr(shm_mod, "HAVE_SHARED_MEMORY", False)
+        serial = SerialExecutor().run(_wc_job(True), _word_splits())
+        streaming = ProcessExecutor(max_workers=2, shuffle="streaming").run(
+            _wc_job(True), _word_splits()
+        )
+        assert streaming.outputs == serial.outputs
+
+
+def test_orion_streaming_shuffle_equals_serial(tiny_db, tiny_query):
+    """End to end: OrionSearch over the streaming shuffle is field-identical
+    to the serial run, and sweeps its spill segments."""
+    before = _orionspill_segments()
+    serial = run_orion(tiny_db, tiny_query, "serial")
+    streaming = run_orion(tiny_db, tiny_query, "processes", shuffle="streaming")
+    assert canonical(streaming.alignments) == canonical(serial.alignments)
+    assert streaming.executor_kind == "processes"
+    assert streaming.merged_pairs == serial.merged_pairs
+    assert streaming.dropped_partials == serial.dropped_partials
+    assert _orionspill_segments() - before == set()
 
 
 # --------------------------------------------------------------------------- #
