@@ -24,11 +24,13 @@ from repro.analysis.rules.mapreduce_rules import (
     TaskCallablePicklableRule,
 )
 from repro.analysis.rules.resource_rules import SharedMemoryLifecycleRule
+from repro.analysis.rules.robustness_rules import RetryBackoffRule
 
 __all__ = [
     "BareExceptRule",
     "LiteralMeasurementRule",
     "MutableDefaultRule",
+    "RetryBackoffRule",
     "SharedMemoryLifecycleRule",
     "TaskCallableMutationRule",
     "TaskCallablePicklableRule",
@@ -49,4 +51,5 @@ def default_rules() -> List[Rule]:
         BareExceptRule(),
         LiteralMeasurementRule(),
         SharedMemoryLifecycleRule(),
+        RetryBackoffRule(),
     ]

@@ -108,6 +108,9 @@ def _cmd_search(args: argparse.Namespace) -> int:
             num_workers=args.workers,
             shuffle=args.shuffle,
             shared_db=args.shared_db,
+            retries=args.retries,
+            task_timeout=args.task_timeout,
+            speculative_tasks=args.speculative,
         )
 
     all_alignments = []
@@ -266,6 +269,31 @@ def build_parser() -> argparse.ArgumentParser:
         "copy per machine (default: auto — on for --executor processes "
         "when the platform supports it); --no-shared-db pickles a private "
         "copy per worker instead",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="attempt budget per map/reduce task on --executor processes: "
+        "a failed, crashed or hung task is retried individually (with "
+        "backoff, on a respawned pool if a worker crash broke it) instead "
+        "of rerunning the whole job serially; 1 disables per-task retries "
+        "(default: 3)",
+    )
+    p.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="per-attempt deadline in seconds for --executor processes; a "
+        "straggling attempt past it is retried (it may still win if it "
+        "finishes first; default: no deadline)",
+    )
+    p.add_argument(
+        "--speculative",
+        action="store_true",
+        help="Hadoop-style speculative execution for --executor processes: "
+        "near the end of a phase, duplicate the slowest outstanding task; "
+        "first commit wins (results are identical either way)",
     )
     p.add_argument(
         "--sanitize",

@@ -33,6 +33,7 @@ from repro.core.overlap import overlap_length
 from repro.core.results import FragmentAlignment, OrionResult
 from repro.core.sortmr import parallel_sort_alignments
 from repro.mapreduce import shm as shm_mod
+from repro.mapreduce.faults import FaultInjector, RetryPolicy
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.runtime import (
     Executor,
@@ -232,6 +233,27 @@ class OrionSearch:
         (default). Workers then keep attached database views and k-mer
         caches warm between queries. ``False`` restores the old
         pool-per-job behaviour.
+    retries:
+        Attempt budget per map/reduce task on process-backed executors
+        (CLI ``--retries``): a failed, crashed or timed-out task is
+        retried individually — with backoff, on a respawned pool if the
+        worker crash broke it — instead of rerunning the whole job
+        serially. ``1`` restores the old fail-straight-to-serial
+        behaviour. Alignments are identical regardless (tasks are pure;
+        property-tested under injected faults).
+    task_timeout:
+        Optional per-attempt deadline in seconds (CLI ``--task-timeout``);
+        a straggling attempt past it is retried, though it may still win
+        if it finishes first.
+    speculative_tasks:
+        Hadoop-style speculative execution of straggler tasks (CLI
+        ``--speculative``): near the end of a phase the slowest
+        outstanding task gets a duplicate attempt, first commit wins.
+        Distinct from ``speculative`` (the paper's gapped *extension* at
+        fragment boundaries, an alignment-semantics knob).
+    fault_injector:
+        Optional :class:`repro.mapreduce.faults.FaultInjector` threaded
+        into every task attempt (tests/benchmarks only).
     """
 
     def __init__(
@@ -258,8 +280,13 @@ class OrionSearch:
         shuffle: str = "barrier",
         shared_db: Optional[bool] = None,
         reuse_pool: bool = True,
+        retries: int = 3,
+        task_timeout: Optional[float] = None,
+        speculative_tasks: bool = False,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         check_positive("num_shards", num_shards)
+        check_positive("retries", retries)
         check_positive("unit_scale", unit_scale)
         check_positive("time_scale", time_scale)
         check_positive("num_reducers", num_reducers)
@@ -288,7 +315,19 @@ class OrionSearch:
         self.num_reducers = num_reducers
         self.sort_tasks = sort_tasks
         self.use_streaming = use_streaming
-        self.executor: Executor = resolve_executor(executor, num_workers, shuffle=shuffle)
+        self.retry_policy = RetryPolicy(
+            max_attempts=retries,
+            task_timeout=task_timeout,
+            speculative=speculative_tasks,
+        )
+        self.fault_injector = fault_injector
+        self.executor: Executor = resolve_executor(
+            executor,
+            num_workers,
+            shuffle=shuffle,
+            retry=self.retry_policy,
+            injector=fault_injector,
+        )
         self.shared_db = shared_db
         self.reuse_pool = bool(reuse_pool)
         self._pool: Optional[WorkerPool] = None
@@ -394,6 +433,8 @@ class OrionSearch:
                     max_workers=self.executor.max_workers,
                     start_method=self.executor.start_method,
                     shuffle=self.executor.shuffle,
+                    retry=self.executor.retry,
+                    injector=self.executor.injector,
                 )
             return self._pool
         return self.executor

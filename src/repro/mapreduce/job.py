@@ -5,6 +5,14 @@ reducer, partitioner); executors in :mod:`repro.mapreduce.runtime` drive it.
 The shuffle groups map output by key *within each partition* and sorts keys
 (Hadoop's sort-based shuffle), so reducers see keys in order and value lists
 in map-task order — deterministic end to end.
+
+Task callables must be *pure functions of their input* (the invariants
+orionlint and the race sanitizer enforce, DESIGN.md §4.4). Fault tolerance
+leans on this purity too: the task scheduler (§4.6) may run the same task
+twice — a retry after a failure, a duplicate racing a straggler — and
+commit whichever attempt finishes first, which is only sound because every
+attempt of a task produces identical output and no attempt leaves
+observable side effects behind.
 """
 
 from __future__ import annotations

@@ -25,15 +25,32 @@ repartitions there, and only then dispatches reduce tasks. The **streaming**
 shuffle (``shuffle="streaming"``) is push-based: each map task partitions
 (and combines) its own output worker-side, spills per-partition pickled
 runs into a shared-memory segment (inline fallback when shm is
-unavailable), and the driver schedules with ``as_completed`` so reduce
+unavailable), and the driver consumes completions as they land so reduce
 task *p* launches the moment every map task has committed its partition-*p*
 run — Hadoop's reduce slowstart, instead of a barrier plus a driver-side
 serial shuffle. See :class:`ShuffleService`.
 
+Process-backed executors are fault tolerant (DESIGN.md §4.6): every map and
+reduce task runs as a sequence of *attempts* under a
+:class:`~repro.mapreduce.faults.RetryPolicy` driven by the
+:class:`~repro.mapreduce.scheduler.TaskScheduler`. A failed attempt
+(exception, crashed worker, missed deadline) retries that one task with
+backoff instead of poisoning the job; a crashed worker breaks the pool,
+which is respawned once and only the uncommitted tasks re-dispatched —
+committed results, including streaming-shuffle spill runs already sitting
+in shared memory, are kept. Optional Hadoop-style speculative execution
+duplicates the slowest straggler near the end of a phase (first commit
+wins). All of it is exercised deterministically by threading a
+:class:`~repro.mapreduce.faults.FaultInjector` through the executors. The
+whole-job serial fallback remains only as the last resort after a task
+exhausts its attempt budget.
+
 All executors return the same :class:`~repro.mapreduce.types.JobResult` for
 the same job and splits, independent of scheduling order: map outputs are
 ordered by split index and reducer outputs by partition index before the
-shuffle/result assembly, so results are deterministic end to end. Every
+shuffle/result assembly, so results are deterministic end to end — tasks
+are pure functions of their split, so retried and speculative attempts
+cannot change the output either. Every
 :class:`~repro.mapreduce.types.TaskRecord` is tagged with the executor kind
 that produced it; only serial, uncontended records are ``simulator_safe``.
 """
@@ -46,12 +63,14 @@ import os
 import pickle
 import warnings
 from collections import OrderedDict
-from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor, as_completed
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence, Tuple, Union
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Any, Callable, List, Optional, Protocol, Sequence, Tuple, Union
 
 from repro.mapreduce import shm as shm_mod
+from repro.mapreduce.faults import FaultInjector, RetryPolicy, TaskFailedError
 from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.scheduler import TaskMeta, TaskScheduler
 from repro.mapreduce.types import InputSplit, JobResult, TaskKind, TaskRecord
 from repro.util.timers import Stopwatch
 
@@ -242,16 +261,44 @@ def _process_worker_init(job_bytes: bytes) -> None:
         _WORKER_JOB.setup()
 
 
-def _process_map_task(split: InputSplit) -> Tuple[List[Tuple[Any, Any]], TaskRecord]:
+def _fire_faults(
+    injector: Optional[FaultInjector],
+    phase: str,
+    index: int,
+    attempt: int,
+    shm_touch: bool = False,
+) -> None:
+    """Run the injected faults addressed to one task attempt (worker-side).
+
+    ``shm_touch=True`` additionally fires a matching ``shm`` fault right
+    here — barrier tasks (and streaming reduce fetches) treat an injected
+    shm ``OSError`` as a plain attempt failure, which the scheduler
+    retries. Streaming *map* tasks instead thread the shm fault into
+    :func:`_spill_map_output`, where a real spill-write ``OSError`` would
+    surface, so the injected fault exercises the inline-bytes degrade.
+    """
+    if injector is None:
+        return
+    injector.fire(phase, index, attempt)
+    if shm_touch:
+        injector.shm_fault(phase, index, attempt)
+
+
+def _process_map_task(
+    item: Tuple[InputSplit, int, Optional[FaultInjector]]
+) -> Tuple[List[Tuple[Any, Any]], TaskRecord]:
     assert _WORKER_JOB is not None, "worker initializer did not run"
+    split, attempt, injector = item
+    _fire_faults(injector, "map", split.index, attempt, shm_touch=True)
     return _measure_map(_WORKER_JOB, split, executor=ProcessExecutor.kind)
 
 
 def _process_reduce_task(
-    item: Tuple[int, Sequence[Tuple[Any, List[Any]]]]
+    item: Tuple[int, Sequence[Tuple[Any, List[Any]]], int, Optional[FaultInjector]]
 ) -> Tuple[List[Any], TaskRecord]:
     assert _WORKER_JOB is not None, "worker initializer did not run"
-    partition_index, groups = item
+    partition_index, groups, attempt, injector = item
+    _fire_faults(injector, "reduce", partition_index, attempt, shm_touch=True)
     return _measure_reduce(
         _WORKER_JOB, partition_index, groups, executor=ProcessExecutor.kind
     )
@@ -295,7 +342,10 @@ class _RunCommit:
 
 
 def _spill_map_output(
-    job: MapReduceJob, pairs: Sequence[Tuple[Any, Any]], spill_name: Optional[str]
+    job: MapReduceJob,
+    pairs: Sequence[Tuple[Any, Any]],
+    spill_name: Optional[str],
+    shm_fault: Optional[Callable[[], None]] = None,
 ) -> _RunCommit:
     """Partition one map task's output and spill it (worker-side).
 
@@ -305,7 +355,9 @@ def _spill_map_output(
     owns the unlink, so even a worker that dies right after creating the
     segment cannot leak it. Any ``OSError`` (``/dev/shm`` exhausted, a
     stale segment squatting on the name) degrades to shipping the runs
-    inline through the result pipe.
+    inline through the result pipe. ``shm_fault`` is the fault injector's
+    hook into exactly that path: it fires (or not) where the real spill
+    write would fail, so injected shm faults exercise the same degrade.
     """
     runs = job.partition_pairs(pairs, sort_runs=True)
     blobs = [
@@ -315,6 +367,8 @@ def _spill_map_output(
     total = sum(len(b) for b in blobs)
     if spill_name is not None and shm_mod.HAVE_SHARED_MEMORY and total:
         try:
+            if shm_fault is not None:
+                shm_fault()
             seg = shm_mod.create_segment(total, name=spill_name)
         except OSError:  # orionlint: disable=ORL006
             pass  # deliberate degrade: the inline commit below loses nothing
@@ -351,11 +405,22 @@ def _fetch_partition_runs(
 
 
 def _streaming_measure_map(
-    job: MapReduceJob, split: InputSplit, spill_name: Optional[str], executor: str
+    job: MapReduceJob,
+    split: InputSplit,
+    spill_name: Optional[str],
+    executor: str,
+    attempt: int = 1,
+    injector: Optional[FaultInjector] = None,
 ) -> Tuple[TaskRecord, _RunCommit]:
+    _fire_faults(injector, "map", split.index, attempt)
+    shm_fault = (
+        (lambda: injector.shm_fault("map", split.index, attempt))
+        if injector is not None
+        else None
+    )
     sw = Stopwatch().start()
     pairs = job.run_map_task(split)
-    commit = _spill_map_output(job, pairs, spill_name)
+    commit = _spill_map_output(job, pairs, spill_name, shm_fault=shm_fault)
     dur = sw.stop()
     rec = TaskRecord(
         task_id=f"{job.name}/map/{split.index:05d}",
@@ -374,7 +439,12 @@ def _streaming_measure_reduce(
     partition_index: int,
     locators: Sequence[_RunLocator],
     executor: str,
+    attempt: int = 1,
+    injector: Optional[FaultInjector] = None,
 ) -> Tuple[List[Any], TaskRecord, int]:
+    # shm faults fire where the run fetch would fail: the attempt errors
+    # out (like a vanished segment would) and the scheduler retries it.
+    _fire_faults(injector, "reduce", partition_index, attempt, shm_touch=True)
     sw = Stopwatch().start()
     runs, bytes_in = _fetch_partition_runs(locators)
     groups = job.merge_runs(runs)
@@ -393,37 +463,42 @@ def _streaming_measure_reduce(
 
 
 def _process_streaming_map_task(
-    item: Tuple[InputSplit, Optional[str]]
+    item: Tuple[InputSplit, Optional[str], int, Optional[FaultInjector]]
 ) -> Tuple[TaskRecord, _RunCommit]:
     assert _WORKER_JOB is not None, "worker initializer did not run"
-    split, spill_name = item
+    split, spill_name, attempt, injector = item
     return _streaming_measure_map(
-        _WORKER_JOB, split, spill_name, executor=ProcessExecutor.kind
+        _WORKER_JOB, split, spill_name, executor=ProcessExecutor.kind,
+        attempt=attempt, injector=injector,
     )
 
 
 def _process_streaming_reduce_task(
-    item: Tuple[int, List[_RunLocator]]
+    item: Tuple[int, List[_RunLocator], int, Optional[FaultInjector]]
 ) -> Tuple[List[Any], TaskRecord, int]:
     assert _WORKER_JOB is not None, "worker initializer did not run"
-    partition_index, locators = item
+    partition_index, locators, attempt, injector = item
     return _streaming_measure_reduce(
-        _WORKER_JOB, partition_index, locators, executor=ProcessExecutor.kind
+        _WORKER_JOB, partition_index, locators, executor=ProcessExecutor.kind,
+        attempt=attempt, injector=injector,
     )
 
 
 class ShuffleService:
     """Driver-side bookkeeping for the push-based streaming shuffle.
 
-    Reserves one spill-segment name per map task up front (see
-    :class:`~repro.mapreduce.shm.SpillSet` — driver-chosen names are what
-    make post-crash sweeping possible), records each map task's
-    :class:`_RunCommit` as it lands, and tells the scheduler which reduce
-    partitions became ready: partition *p* is ready the moment every map
-    task has committed its partition-*p* run. ``close()`` sweeps every
-    spill segment and is safe to call from ``finally`` while tasks may
-    still be in flight (a reduce task racing the sweep fails its attach,
-    which surfaces through its future like any other task error).
+    Reserves one spill-segment name per map task *attempt* (see
+    :class:`~repro.mapreduce.shm.SpillSet` — driver-chosen, attempt-scoped
+    names are what make both post-crash sweeping and per-task retries
+    possible: two attempts of one map task never collide on a name, and a
+    dead attempt's run is swept via :meth:`sweep_attempt` without touching
+    the winner's), records each map task's :class:`_RunCommit` as it
+    lands, and tells the scheduler which reduce partitions became ready:
+    partition *p* is ready the moment every map task has committed its
+    partition-*p* run. ``close()`` sweeps every spill segment and is safe
+    to call from ``finally`` while tasks may still be in flight (a reduce
+    task racing the sweep fails its attach, which surfaces through its
+    future like any other task error).
     """
 
     def __init__(self, job: MapReduceJob, num_splits: int) -> None:
@@ -434,11 +509,22 @@ class ShuffleService:
             shm_mod.SpillSet(num_splits) if shm_mod.HAVE_SHARED_MEMORY else None
         )
 
-    def spill_name(self, split_index: int) -> Optional[str]:
-        """The segment name reserved for one map task (None → ship inline)."""
+    def spill_name(self, split_index: int, attempt: int = 1) -> Optional[str]:
+        """The segment name reserved for one map attempt (None → inline)."""
         if self._spills is None:
             return None
-        return self._spills.name_for(split_index)
+        return self._spills.name_for(split_index, attempt)
+
+    def sweep_attempt(self, split_index: int, attempt: int) -> None:
+        """Sweep one dead map attempt's spill segment (idempotent).
+
+        Called by the scheduler's ``on_attempt_dead`` hook for failed,
+        lost, cancelled and first-commit-losing attempts — always *after*
+        the attempt's future settled, so a straggler cannot recreate the
+        segment behind the sweep.
+        """
+        if self._spills is not None:
+            self._spills.sweep(split_index, attempt)
 
     def commit(self, split_index: int, commit: _RunCommit) -> List[int]:
         """Record one map task's runs; return partitions that became ready.
@@ -472,52 +558,124 @@ class ShuffleService:
             self._spills.release()
 
 
+def _stamp_meta(rec: TaskRecord, meta: TaskMeta) -> TaskRecord:
+    """Stamp a task's attempt trail onto its record (driver-side)."""
+    if meta.attempts <= 1 and not meta.speculative:
+        return rec
+    return replace(
+        rec,
+        attempts=meta.attempts,
+        winner=meta.winner,
+        speculative=meta.speculative,
+    )
+
+
+def _run_barrier_schedule(
+    job: MapReduceJob,
+    splits: Sequence[InputSplit],
+    submit_map: Callable[[InputSplit, int], "Future[Tuple[List[Tuple[Any, Any]], TaskRecord]]"],
+    submit_reduce: Callable[[int, Sequence[Tuple[Any, List[Any]]], int], "Future[Tuple[List[Any], TaskRecord]]"],
+    policy: RetryPolicy,
+    respawn: Callable[[], None],
+) -> JobResult:
+    """The barrier-shuffle schedule shared by ProcessExecutor and WorkerPool.
+
+    One :class:`~repro.mapreduce.scheduler.TaskScheduler` per phase (the
+    barrier *is* the phase boundary): every map task must commit before the
+    driver-side shuffle, then every reduce task runs. Each phase gets the
+    full retry/speculation treatment; results are gathered by split /
+    partition index, so retries and speculative duplicates cannot reorder
+    anything.
+    """
+    sched = TaskScheduler(policy, respawn=respawn)
+    for split in splits:
+        sched.add("map", split.index, lambda a, s=split: submit_map(s, a))
+    sched.run()
+    map_outputs: List[List[Tuple[Any, Any]]] = []
+    records: List[TaskRecord] = []
+    for split in splits:
+        pairs, rec = sched.result("map", split.index)
+        map_outputs.append(pairs)
+        records.append(_stamp_meta(rec, sched.meta("map", split.index)))
+
+    partitions = job.shuffle(map_outputs)
+    sched = TaskScheduler(policy, respawn=respawn)
+    for p, groups in enumerate(partitions):
+        sched.add("reduce", p, lambda a, p=p, g=groups: submit_reduce(p, g, a))
+    sched.run()
+    outputs: List[List[Any]] = []
+    for p in range(len(partitions)):
+        out, rec = sched.result("reduce", p)
+        outputs.append(out)
+        records.append(_stamp_meta(rec, sched.meta("reduce", p)))
+    return _assemble(job, partitions, outputs, records)
+
+
 def _run_streaming_schedule(
     job: MapReduceJob,
     splits: Sequence[InputSplit],
-    submit_map: Callable[[InputSplit, Optional[str]], "Future[Tuple[TaskRecord, _RunCommit]]"],
-    submit_reduce: Callable[[int, List[_RunLocator]], "Future[Tuple[List[Any], TaskRecord, int]]"],
+    submit_map: Callable[[InputSplit, Optional[str], int], "Future[Tuple[TaskRecord, _RunCommit]]"],
+    submit_reduce: Callable[[int, List[_RunLocator], int], "Future[Tuple[List[Any], TaskRecord, int]]"],
+    policy: RetryPolicy,
+    respawn: Callable[[], None],
 ) -> JobResult:
-    """The as_completed scheduler shared by ProcessExecutor and WorkerPool.
+    """The streaming-shuffle schedule shared by ProcessExecutor and WorkerPool.
 
-    Map completions are consumed in *completion* order (a straggler split 0
-    no longer delays retrieval of splits 1..n the way ``pool.map``'s
-    submission-order iteration does), and reduce task *p* is submitted the
-    instant :class:`ShuffleService` reports its last input run committed —
-    reduce dispatch overlaps the tail of the map phase instead of waiting
-    behind a barrier plus a driver-side serial shuffle. Determinism is
-    unaffected by any of this reordering: runs are concatenated in
-    split-index order inside each reduce task and results are assembled by
-    partition index.
+    One :class:`~repro.mapreduce.scheduler.TaskScheduler` drives both
+    phases: map completions are consumed in *completion* order and reduce
+    task *p* is added the instant :class:`ShuffleService` reports its last
+    input run committed — reduce dispatch overlaps the tail of the map
+    phase instead of waiting behind a barrier plus a driver-side serial
+    shuffle. Each map attempt spills under its own attempt-scoped segment
+    name; dead attempts (failed, lost with the pool, superseded by a
+    faster duplicate) have their spill swept promptly through the
+    scheduler's ``on_attempt_dead`` hook, and ``service.close()`` sweeps
+    whatever remains — the scheduler drains straggler attempts before
+    returning, so the sweep cannot race a write. Determinism is unaffected
+    by any of this reordering: runs are concatenated in split-index order
+    inside each reduce task and results are assembled by partition index.
     """
     service = ShuffleService(job, len(splits))
-    try:
-        map_futures = {
-            submit_map(split, service.spill_name(split.index)): split.index
-            for split in splits
-        }
-        map_records: List[Optional[TaskRecord]] = [None] * len(splits)
-        reduce_futures: Dict["Future[Tuple[List[Any], TaskRecord, int]]", int] = {}
-        for fut in as_completed(map_futures):
-            split_index = map_futures[fut]
-            rec, commit = fut.result()
-            map_records[split_index] = rec
-            for p in service.commit(split_index, commit):
-                reduce_futures[submit_reduce(p, service.locators(p))] = p
 
-        outputs: List[List[Any]] = [[] for _ in range(job.num_reducers)]
-        reduce_records: List[Optional[TaskRecord]] = [None] * job.num_reducers
+    def attempt_dead(phase: str, index: int, attempt: int) -> None:
+        if phase == "map":
+            service.sweep_attempt(index, attempt)
+
+    sched = TaskScheduler(policy, respawn=respawn, on_attempt_dead=attempt_dead)
+
+    def on_map_complete(phase: str, index: int, value: Any) -> None:
+        if phase != "map":
+            return
+        _, commit = value
+        for p in service.commit(index, commit):
+            sched.add(
+                "reduce",
+                p,
+                lambda a, p=p: submit_reduce(p, service.locators(p), a),
+            )
+
+    try:
+        for split in splits:
+            sched.add(
+                "map",
+                split.index,
+                lambda a, s=split: submit_map(s, service.spill_name(s.index, a), a),
+            )
+        sched.run(on_map_complete)
+
+        records: List[TaskRecord] = []
+        for split in splits:
+            rec, _ = sched.result("map", split.index)
+            records.append(_stamp_meta(rec, sched.meta("map", split.index)))
+        outputs: List[List[Any]] = []
         shuffle_keys = 0
-        for fut in as_completed(reduce_futures):
-            p = reduce_futures[fut]
-            out, rec, distinct_keys = fut.result()
-            outputs[p] = out
-            reduce_records[p] = rec
+        for p in range(job.num_reducers):
+            out, rec, distinct_keys = sched.result("reduce", p)
+            outputs.append(out)
+            records.append(_stamp_meta(rec, sched.meta("reduce", p)))
             # Partitions hold disjoint key sets (one partitioner assignment
             # per key), so the per-partition counts sum to the job total.
             shuffle_keys += distinct_keys
-        records = [r for r in map_records if r is not None]
-        records.extend(r for r in reduce_records if r is not None)
         return JobResult(outputs=outputs, records=records, shuffle_keys=shuffle_keys)
     finally:
         service.close()
@@ -549,6 +707,14 @@ class ProcessExecutor:
     shuffle:
         ``"barrier"`` (default) or ``"streaming"`` — see the module
         docstring and :class:`ShuffleService`.
+    retry:
+        The :class:`~repro.mapreduce.faults.RetryPolicy` in force;
+        defaults to bounded retries with backoff.
+        ``RetryPolicy(max_attempts=1)`` reproduces the pre-fault-tolerance
+        behaviour (any failure goes straight to the serial fallback).
+    injector:
+        Optional :class:`~repro.mapreduce.faults.FaultInjector` threaded
+        into every task attempt (tests/benchmarks only).
     """
 
     kind = "processes"
@@ -558,6 +724,8 @@ class ProcessExecutor:
         max_workers: Optional[int] = None,
         start_method: Optional[str] = None,
         shuffle: str = "barrier",
+        retry: Optional[RetryPolicy] = None,
+        injector: Optional[FaultInjector] = None,
     ) -> None:
         if max_workers is None:
             max_workers = os.cpu_count() or 1
@@ -570,13 +738,19 @@ class ProcessExecutor:
         self.max_workers = max_workers
         self.start_method = start_method
         self.shuffle = shuffle
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.injector = injector
 
     # ------------------------------------------------------------------ #
 
     def _fallback(
-        self, job: MapReduceJob, splits: Sequence[InputSplit], why: str
+        self,
+        job: MapReduceJob,
+        splits: Sequence[InputSplit],
+        why: str,
+        cause: Optional[BaseException] = None,
     ) -> JobResult:
-        return _serial_fallback("ProcessExecutor", job, splits, why)
+        return _serial_fallback("ProcessExecutor", job, splits, why, cause=cause)
 
     def run(self, job: MapReduceJob, splits: Sequence[InputSplit]) -> JobResult:
         try:
@@ -589,10 +763,15 @@ class ProcessExecutor:
         try:
             return self._run_pool(job, job_bytes, splits)
         except Exception as exc:
-            # Unpicklable payloads/outputs or a broken pool surface here; the
-            # serial retry either succeeds or raises the genuine task error.
+            # Only exhausted attempt budgets (TaskFailedError) and errors
+            # the scheduler cannot retry (unpicklable payloads/outputs)
+            # reach here; the serial retry either succeeds or raises with
+            # this original error chained.
             return self._fallback(
-                job, splits, f"process pool failed ({type(exc).__name__}: {exc})"
+                job,
+                splits,
+                f"process pool failed ({type(exc).__name__}: {exc})",
+                cause=exc,
             )
 
     def _run_pool(
@@ -603,36 +782,54 @@ class ProcessExecutor:
         # wider — capping at len(splits) alone silently serializes reduce
         # tasks whenever num_reducers > len(splits).
         tasks_in_flight = max(1, len(splits), job.num_reducers)
-        with ProcessPoolExecutor(
-            max_workers=min(self.max_workers, tasks_in_flight),
-            mp_context=ctx,
-            initializer=_process_worker_init,
-            initargs=(job_bytes,),
-        ) as pool:
+        workers = min(self.max_workers, tasks_in_flight)
+
+        def make_pool() -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=ctx,
+                initializer=_process_worker_init,
+                initargs=(job_bytes,),
+            )
+
+        # One-slot holder so the submit closures always target the live
+        # pool: respawn swaps in a fresh pool after a worker crash broke
+        # the old one (a broken ProcessPoolExecutor can never run again).
+        pool_ref: List[ProcessPoolExecutor] = [make_pool()]
+
+        def respawn() -> None:
+            pool_ref[0].shutdown(wait=False, cancel_futures=True)
+            pool_ref[0] = make_pool()
+
+        injector = self.injector
+        try:
             if self.shuffle == "streaming":
                 return _run_streaming_schedule(
                     job,
                     splits,
-                    lambda split, name: pool.submit(
-                        _process_streaming_map_task, (split, name)
+                    lambda split, name, attempt: pool_ref[0].submit(
+                        _process_streaming_map_task, (split, name, attempt, injector)
                     ),
-                    lambda p, locators: pool.submit(
-                        _process_streaming_reduce_task, (p, locators)
+                    lambda p, locators, attempt: pool_ref[0].submit(
+                        _process_streaming_reduce_task, (p, locators, attempt, injector)
                     ),
+                    self.retry,
+                    respawn,
                 )
-            # pool.map yields results in submission order: map outputs come
-            # back indexed by split, reducer outputs by partition.
-            map_results = list(pool.map(_process_map_task, splits))
-            map_outputs = [pairs for pairs, _ in map_results]
-            records: List[TaskRecord] = [rec for _, rec in map_results]
-
-            partitions = job.shuffle(map_outputs)
-            reduce_results = list(
-                pool.map(_process_reduce_task, list(enumerate(partitions)))
+            return _run_barrier_schedule(
+                job,
+                splits,
+                lambda split, attempt: pool_ref[0].submit(
+                    _process_map_task, (split, attempt, injector)
+                ),
+                lambda p, groups, attempt: pool_ref[0].submit(
+                    _process_reduce_task, (p, groups, attempt, injector)
+                ),
+                self.retry,
+                respawn,
             )
-        outputs = [out for out, _ in reduce_results]
-        records.extend(rec for _, rec in reduce_results)
-        return _assemble(job, partitions, outputs, records)
+        finally:
+            pool_ref[0].shutdown(wait=True)
 
 
 # --------------------------------------------------------------------------- #
@@ -641,14 +838,48 @@ class ProcessExecutor:
 
 
 def _serial_fallback(
-    kind: str, job: MapReduceJob, splits: Sequence[InputSplit], why: str
+    kind: str,
+    job: MapReduceJob,
+    splits: Sequence[InputSplit],
+    why: str,
+    cause: Optional[BaseException] = None,
 ) -> JobResult:
+    """Last resort after retries are exhausted: rerun the whole job serially.
+
+    Streaming spill segments are already swept before this runs — the task
+    scheduler drains straggler attempts and the streaming schedule's
+    ``finally`` releases the spill set on the way out, so an abandoned
+    parallel attempt leaves nothing in ``/dev/shm``.
+
+    On success, every record of the serial rerun is stamped with
+    ``fallback_reason`` so operators can see why the job went serial. If
+    the serial rerun *also* fails, the original pool/task error is never
+    masked: the raised error names the failing task's phase and index when
+    known (:class:`~repro.mapreduce.faults.TaskFailedError`) and chains
+    the original failure as ``__cause__``.
+    """
     warnings.warn(
         f"{kind} falling back to serial execution for job {job.name!r}: {why}",
         RuntimeWarning,
         stacklevel=4,
     )
-    return SerialExecutor().run(job, splits)
+    try:
+        result = SerialExecutor().run(job, splits)
+    except Exception as serial_exc:
+        detail = (
+            f"{kind} serial fallback for job {job.name!r} also failed "
+            f"({type(serial_exc).__name__}: {serial_exc})"
+        )
+        if isinstance(cause, TaskFailedError):
+            detail += (
+                f"; original failure was {cause.phase} task {cause.index} "
+                f"after {cause.attempts} attempt(s)"
+            )
+        elif cause is not None:
+            detail += f"; original failure: {type(cause).__name__}: {cause}"
+        raise RuntimeError(detail) from (cause if cause is not None else serial_exc)
+    result.records = [replace(r, fallback_reason=why) for r in result.records]
+    return result
 
 
 @dataclass(frozen=True)
@@ -694,36 +925,40 @@ def _pool_load_job(ref: _JobRef) -> MapReduceJob:
 
 
 def _pool_map_task(
-    item: Tuple[_JobRef, InputSplit]
+    item: Tuple[_JobRef, InputSplit, int, Optional[FaultInjector]]
 ) -> Tuple[List[Tuple[Any, Any]], TaskRecord]:
-    ref, split = item
+    ref, split, attempt, injector = item
+    _fire_faults(injector, "map", split.index, attempt, shm_touch=True)
     return _measure_map(_pool_load_job(ref), split, executor=WorkerPool.kind)
 
 
 def _pool_reduce_task(
-    item: Tuple[_JobRef, int, Sequence[Tuple[Any, List[Any]]]]
+    item: Tuple[_JobRef, int, Sequence[Tuple[Any, List[Any]]], int, Optional[FaultInjector]]
 ) -> Tuple[List[Any], TaskRecord]:
-    ref, partition_index, groups = item
+    ref, partition_index, groups, attempt, injector = item
+    _fire_faults(injector, "reduce", partition_index, attempt, shm_touch=True)
     return _measure_reduce(
         _pool_load_job(ref), partition_index, groups, executor=WorkerPool.kind
     )
 
 
 def _pool_streaming_map_task(
-    item: Tuple[_JobRef, InputSplit, Optional[str]]
+    item: Tuple[_JobRef, InputSplit, Optional[str], int, Optional[FaultInjector]]
 ) -> Tuple[TaskRecord, _RunCommit]:
-    ref, split, spill_name = item
+    ref, split, spill_name, attempt, injector = item
     return _streaming_measure_map(
-        _pool_load_job(ref), split, spill_name, executor=WorkerPool.kind
+        _pool_load_job(ref), split, spill_name, executor=WorkerPool.kind,
+        attempt=attempt, injector=injector,
     )
 
 
 def _pool_streaming_reduce_task(
-    item: Tuple[_JobRef, int, List[_RunLocator]]
+    item: Tuple[_JobRef, int, List[_RunLocator], int, Optional[FaultInjector]]
 ) -> Tuple[List[Any], TaskRecord, int]:
-    ref, partition_index, locators = item
+    ref, partition_index, locators, attempt, injector = item
     return _streaming_measure_reduce(
-        _pool_load_job(ref), partition_index, locators, executor=WorkerPool.kind
+        _pool_load_job(ref), partition_index, locators, executor=WorkerPool.kind,
+        attempt=attempt, injector=injector,
     )
 
 
@@ -742,10 +977,14 @@ class WorkerPool:
     Semantics match :class:`ProcessExecutor` exactly: identical results and
     record order for any job, task records tagged ``executor="processes"``,
     serial fallback (with a :class:`RuntimeWarning`) for unpicklable jobs,
-    and a broken pool is discarded — the job reruns serially and the next
-    :meth:`run` builds a fresh pool. Call :meth:`shutdown` (or use the pool
-    as a context manager) when done; an unclosed pool's workers are
-    reclaimed at interpreter exit.
+    and the same fault-tolerant task scheduling — a broken pool (crashed
+    worker) is respawned in place and only the uncommitted tasks
+    re-dispatched; whole-job serial fallback happens only once a task
+    exhausts its :class:`~repro.mapreduce.faults.RetryPolicy` budget, and
+    then the broken pool is discarded so the next :meth:`run` starts
+    fresh. Call :meth:`shutdown` (or use the pool as a context manager)
+    when done; an unclosed pool's workers are reclaimed at interpreter
+    exit.
     """
 
     kind = "processes"
@@ -755,6 +994,8 @@ class WorkerPool:
         max_workers: Optional[int] = None,
         start_method: Optional[str] = None,
         shuffle: str = "barrier",
+        retry: Optional[RetryPolicy] = None,
+        injector: Optional[FaultInjector] = None,
     ) -> None:
         if max_workers is None:
             max_workers = os.cpu_count() or 1
@@ -767,6 +1008,8 @@ class WorkerPool:
         self.max_workers = max_workers
         self.start_method = start_method
         self.shuffle = shuffle
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.injector = injector
         self._pool: Optional[ProcessPoolExecutor] = None
 
     # ------------------------------------------------------------------ #
@@ -816,13 +1059,16 @@ class WorkerPool:
         try:
             return self._run_pool(job, ref, splits)
         except Exception as exc:
-            # A broken pool (crashed worker) poisons every later submit;
-            # discard it so the next run starts fresh, and rerun serially —
-            # that either succeeds or raises the genuine task error.
+            # The scheduler already retried and respawned; reaching here
+            # means a task exhausted its budget (or hit an unretryable
+            # error). Discard whatever pool is left so the next run starts
+            # fresh, and rerun serially — that either succeeds or raises
+            # with this genuine task error chained.
             self._discard_pool()
             return _serial_fallback(
                 "WorkerPool", job, splits,
                 f"process pool failed ({type(exc).__name__}: {exc})",
+                cause=exc,
             )
         finally:
             if seg is not None:
@@ -830,37 +1076,42 @@ class WorkerPool:
                 # segment itself must not outlive the run.
                 shm_mod.destroy_segment(seg)
 
+    def _respawn(self) -> None:
+        """Replace a broken pool in place (the scheduler's respawn hook)."""
+        self._discard_pool()
+        self._ensure_pool()
+
     def _run_pool(
         self, job: MapReduceJob, ref: _JobRef, splits: Sequence[InputSplit]
     ) -> JobResult:
-        pool = self._ensure_pool()
+        # Submit closures go through _ensure_pool so they track respawns.
+        self._ensure_pool()
+        injector = self.injector
         if self.shuffle == "streaming":
             return _run_streaming_schedule(
                 job,
                 splits,
-                lambda split, name: pool.submit(
-                    _pool_streaming_map_task, (ref, split, name)
+                lambda split, name, attempt: self._ensure_pool().submit(
+                    _pool_streaming_map_task, (ref, split, name, attempt, injector)
                 ),
-                lambda p, locators: pool.submit(
-                    _pool_streaming_reduce_task, (ref, p, locators)
+                lambda p, locators, attempt: self._ensure_pool().submit(
+                    _pool_streaming_reduce_task, (ref, p, locators, attempt, injector)
                 ),
+                self.retry,
+                self._respawn,
             )
-        # pool.map yields results in submission order: map outputs come
-        # back indexed by split, reducer outputs by partition.
-        map_results = list(pool.map(_pool_map_task, [(ref, s) for s in splits]))
-        map_outputs = [pairs for pairs, _ in map_results]
-        records: List[TaskRecord] = [rec for _, rec in map_results]
-
-        partitions = job.shuffle(map_outputs)
-        reduce_results = list(
-            pool.map(
-                _pool_reduce_task,
-                [(ref, p, groups) for p, groups in enumerate(partitions)],
-            )
+        return _run_barrier_schedule(
+            job,
+            splits,
+            lambda split, attempt: self._ensure_pool().submit(
+                _pool_map_task, (ref, split, attempt, injector)
+            ),
+            lambda p, groups, attempt: self._ensure_pool().submit(
+                _pool_reduce_task, (ref, p, groups, attempt, injector)
+            ),
+            self.retry,
+            self._respawn,
         )
-        outputs = [out for out, _ in reduce_results]
-        records.extend(rec for _, rec in reduce_results)
-        return _assemble(job, partitions, outputs, records)
 
     # ------------------------------------------------------------------ #
 
@@ -902,6 +1153,8 @@ def resolve_executor(
     spec: Union[str, Executor, None],
     max_workers: Optional[int] = None,
     shuffle: str = "barrier",
+    retry: Optional[RetryPolicy] = None,
+    injector: Optional[FaultInjector] = None,
 ) -> Executor:
     """Turn an executor spec (name or instance) into an executor.
 
@@ -911,15 +1164,19 @@ def resolve_executor(
     workers; ``"sanitizer"`` builds the race-detecting
     :class:`repro.analysis.sanitizer.SanitizerExecutor`; an object with a
     ``run`` method passes through unchanged. ``shuffle`` selects the
-    process-backed shuffle mode (in-process executors have no cross-process
-    data movement to stream, so they ignore it).
+    process-backed shuffle mode, ``retry`` the fault-tolerance policy and
+    ``injector`` an optional fault plan (in-process executors run tasks in
+    the driver, where a failure is already surfaced directly, so they
+    ignore all three).
     """
     if spec is None or spec == "serial":
         return SerialExecutor()
     if spec == "threads":
         return ThreadedExecutor(max_workers=max_workers or 4)
     if spec == "processes":
-        return ProcessExecutor(max_workers=max_workers, shuffle=shuffle)
+        return ProcessExecutor(
+            max_workers=max_workers, shuffle=shuffle, retry=retry, injector=injector
+        )
     if spec == "sanitizer":
         # Imported lazily: repro.analysis depends on this module.
         from repro.analysis.sanitizer import SanitizerExecutor

@@ -1,0 +1,449 @@
+"""Fault-tolerant task scheduling: the attempt-based task lifecycle.
+
+The paper's recovery claim — fine granularity makes re-execution *cheap* —
+only holds if a failed or straggling task is redone alone. This module is
+the driver-side machinery that makes that true for the process-backed
+executors: each task runs as a sequence of *attempts*, and one attempt
+failing (exception, worker crash, missed deadline) triggers a bounded,
+backed-off retry of that one task while every committed result is kept.
+
+Task lifecycle (the §4.6 state machine)::
+
+    PENDING --launch--> RUNNING --success--> COMMITTED
+       ^                  |  |
+       |   retry/backoff  |  +--deadline--> RUNNING (zombie) + retry
+       +------failure-----+                       |
+       |                                          +--late success--> wins
+       +---pool broken (attempt lost)             |    iff still uncommitted
+                                                  +--loses--> DISCARDED
+    attempts exhausted --> FAILED (TaskFailedError -> serial-fallback ladder)
+
+Three recovery mechanisms share the one event loop:
+
+* **Retries** — a failed attempt consumes one unit of the
+  :class:`~repro.mapreduce.faults.RetryPolicy` budget and requeues the
+  task after a deterministic jittered backoff. Backoff is expressed as
+  *wait deadlines*, not sleeps: while anything is in flight the loop waits
+  on futures with a timeout, so a retrying task never blocks the others.
+* **Pool respawn** — a crashed worker breaks the whole
+  ``ProcessPoolExecutor`` (every in-flight and queued future raises
+  ``BrokenProcessPool``). The scheduler counts each lost attempt against
+  its task, asks the executor to respawn the pool once, and re-dispatches
+  only the tasks that never committed; committed results (including
+  streaming-shuffle spill runs in shared memory, which live outside the
+  pool) are kept.
+* **Speculative execution** — Hadoop-style: once
+  ``speculative_fraction`` of a phase's tasks have committed, the slowest
+  outstanding task gets one duplicate attempt. First commit wins; the
+  loser is cancelled if still queued, or discarded (and its spill swept)
+  when it eventually lands. Safe because tasks are pure functions of
+  their split, so the job's output is byte-identical regardless of which
+  attempt wins.
+
+Timed-out attempts become *zombies*: their futures stay watched, because a
+straggler that finishes before its replacement still wins. On loop exit the
+scheduler drains zombies (bounded by ``zombie_grace``) so the streaming
+shuffle can sweep every straggler's spill segment before releasing the
+spill set.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+import warnings
+from concurrent.futures import FIRST_COMPLETED, CancelledError, Future, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.mapreduce.faults import RetryPolicy, TaskFailedError
+
+try:  # BrokenProcessPool subclasses this; thread pools raise BrokenThreadPool
+    from concurrent.futures import BrokenExecutor
+except ImportError:  # pragma: no cover - very old pythons
+    BrokenExecutor = RuntimeError  # type: ignore[assignment,misc]
+
+#: A task's identity: (phase, index) — e.g. ("map", 3) or ("reduce", 0).
+TaskKey = Tuple[str, int]
+
+#: How long the loop waits between housekeeping passes when a deadline or
+#: speculation scan could fire with no future completing: short enough to
+#: notice a missed deadline promptly, long enough to cost nothing.
+_POLL_SECONDS = 0.05
+
+
+@dataclass
+class TaskMeta:
+    """Attempt bookkeeping for one task, stamped onto its TaskRecord."""
+
+    attempts: int = 0
+    winner: int = 0
+    speculative: bool = False
+
+
+@dataclass
+class _Attempt:
+    number: int
+    started: float
+    speculative: bool = False
+    timed_out: bool = False
+
+
+@dataclass
+class _TaskState:
+    phase: str
+    index: int
+    submit: Callable[[int], "Future[Any]"]
+    attempts_launched: int = 0
+    resolved: bool = False
+    value: Any = None
+    winner: int = 0
+    speculated: bool = False
+    retry_queued: bool = False
+    last_error: Optional[BaseException] = None
+    running: Dict["Future[Any]", _Attempt] = field(default_factory=dict)
+
+    @property
+    def key(self) -> TaskKey:
+        return (self.phase, self.index)
+
+    def live_attempts(self) -> List[_Attempt]:
+        attempts = sorted(self.running.values(), key=lambda a: a.number)
+        return [a for a in attempts if not a.timed_out]
+
+
+class TaskScheduler:
+    """Run tasks as bounded retried attempts over a (respawnable) pool.
+
+    Parameters
+    ----------
+    policy:
+        The :class:`~repro.mapreduce.faults.RetryPolicy` in force.
+    respawn:
+        Called (at most once per pool break) to discard the broken pool
+        and build a fresh one; subsequent ``submit`` closures must target
+        the new pool. ``None`` means the substrate cannot respawn (a pool
+        break then fails every lost attempt and likely exhausts budgets).
+    on_attempt_dead:
+        Called with ``(phase, index, attempt)`` whenever an attempt is
+        known to produce no usable output — it failed, was lost with the
+        pool, got cancelled, or landed after another attempt won. The
+        streaming shuffle sweeps that attempt's spill segment here.
+    clock:
+        Injectable monotonic clock (tests drive deadlines without waiting).
+    """
+
+    def __init__(
+        self,
+        policy: RetryPolicy,
+        respawn: Optional[Callable[[], None]] = None,
+        on_attempt_dead: Optional[Callable[[str, int, int], None]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.policy = policy
+        self._respawn = respawn
+        self._on_attempt_dead = on_attempt_dead
+        self._clock = clock
+        self._tasks: Dict[TaskKey, _TaskState] = {}
+        self._futures: Dict["Future[Any]", TaskKey] = {}
+        self._retry_heap: List[Tuple[float, int, TaskKey]] = []
+        self._retry_seq = 0
+        self._unresolved = 0
+        self._needs_respawn = False
+        # Per-phase commit stats feeding the speculation rule.
+        self._phase_total: Dict[str, int] = {}
+        self._phase_committed: Dict[str, int] = {}
+        self._phase_duration_sum: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # task registration / results
+    # ------------------------------------------------------------------ #
+
+    def add(self, phase: str, index: int, submit: Callable[[int], "Future[Any]"]) -> None:
+        """Register one task and launch its first attempt immediately.
+
+        ``submit(attempt)`` must dispatch attempt number ``attempt`` of the
+        task to the *current* pool and return its future. Tasks may be
+        added while :meth:`run` is draining completions (the streaming
+        scheduler adds reduce tasks from map-commit callbacks).
+        """
+        key = (phase, index)
+        if key in self._tasks:
+            raise ValueError(f"task {phase}/{index} already scheduled")
+        state = _TaskState(phase=phase, index=index, submit=submit)
+        self._tasks[key] = state
+        self._unresolved += 1
+        self._phase_total[phase] = self._phase_total.get(phase, 0) + 1
+        self._launch(state)
+
+    def result(self, phase: str, index: int) -> Any:
+        """The committed value of one task (after :meth:`run` returns)."""
+        state = self._tasks[(phase, index)]
+        assert state.resolved, f"task {phase}/{index} never resolved"
+        return state.value
+
+    def meta(self, phase: str, index: int) -> TaskMeta:
+        """Attempt bookkeeping for one task, for TaskRecord stamping."""
+        state = self._tasks[(phase, index)]
+        return TaskMeta(
+            attempts=state.attempts_launched,
+            winner=state.winner,
+            speculative=state.speculated,
+        )
+
+    # ------------------------------------------------------------------ #
+    # the event loop
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self, on_complete: Optional[Callable[[str, int, Any], None]] = None
+    ) -> None:
+        """Drive every registered task to COMMITTED (or raise).
+
+        ``on_complete(phase, index, value)`` fires exactly once per task,
+        in completion order; it may call :meth:`add` to extend the task
+        set (reduce slowstart). Raises
+        :class:`~repro.mapreduce.faults.TaskFailedError` when any task
+        exhausts its attempt budget — after first draining straggler
+        attempts so the caller's ``finally`` can sweep safely.
+        """
+        try:
+            while self._unresolved:
+                if self._needs_respawn:
+                    self._needs_respawn = False
+                    if self._respawn is not None:
+                        self._respawn()
+                now = self._clock()
+                self._launch_due_retries(now)
+                if not self._futures:
+                    delay = self._next_retry_delay(now)
+                    if delay is None:
+                        # No futures, no queued retries, tasks unresolved:
+                        # every budget is spent.
+                        self._raise_exhausted()
+                    self.policy.sleep(delay)
+                    continue
+                done, _ = wait(
+                    list(self._futures),
+                    timeout=self._wait_timeout(now),
+                    return_when=FIRST_COMPLETED,
+                )
+                for fut in done:
+                    self._handle_settled(fut, on_complete)
+                now = self._clock()
+                self._check_deadlines(now)
+                self._maybe_speculate(now)
+        finally:
+            self._drain_stragglers()
+
+    # ------------------------------------------------------------------ #
+    # launches
+    # ------------------------------------------------------------------ #
+
+    def _launch(self, state: _TaskState, speculative: bool = False) -> None:
+        attempt = state.attempts_launched + 1
+        try:
+            fut = state.submit(attempt)
+        except BrokenExecutor:
+            # The pool died between completions; respawn once and resubmit.
+            if self._respawn is None:
+                raise
+            self._respawn()
+            self._needs_respawn = False
+            fut = state.submit(attempt)
+        state.attempts_launched = attempt
+        state.running[fut] = _Attempt(
+            number=attempt, started=self._clock(), speculative=speculative
+        )
+        if speculative:
+            state.speculated = True
+        self._futures[fut] = state.key
+
+    def _queue_retry(self, state: _TaskState, now: float) -> None:
+        """Requeue after backoff, or raise when the budget is spent."""
+        if state.retry_queued or state.resolved:
+            return
+        if state.attempts_launched >= self.policy.max_attempts:
+            if state.live_attempts():
+                return  # a live attempt may still commit; don't give up yet
+            raise TaskFailedError(
+                state.phase,
+                state.index,
+                state.attempts_launched,
+                repr(state.last_error),
+            ) from state.last_error
+        token = f"{state.phase}/{state.index}"
+        due = now + self.policy.backoff_seconds(state.attempts_launched + 1, token)
+        state.retry_queued = True
+        self._retry_seq += 1
+        heapq.heappush(self._retry_heap, (due, self._retry_seq, state.key))
+
+    def _launch_due_retries(self, now: float) -> None:
+        while self._retry_heap and self._retry_heap[0][0] <= now:
+            _, _, key = heapq.heappop(self._retry_heap)
+            state = self._tasks[key]
+            state.retry_queued = False
+            if not state.resolved:
+                self._launch(state)
+
+    def _next_retry_delay(self, now: float) -> Optional[float]:
+        if not self._retry_heap:
+            return None
+        return max(0.0, self._retry_heap[0][0] - now)
+
+    def _raise_exhausted(self) -> None:
+        for state in self._tasks.values():
+            if not state.resolved:
+                raise TaskFailedError(
+                    state.phase,
+                    state.index,
+                    state.attempts_launched,
+                    repr(state.last_error),
+                ) from state.last_error
+        raise AssertionError("unresolved count drifted")  # pragma: no cover
+
+    # ------------------------------------------------------------------ #
+    # completions
+    # ------------------------------------------------------------------ #
+
+    def _handle_settled(
+        self,
+        fut: "Future[Any]",
+        on_complete: Optional[Callable[[str, int, Any], None]],
+    ) -> None:
+        key = self._futures.pop(fut)
+        state = self._tasks[key]
+        attempt = state.running.pop(fut)
+        try:
+            value = fut.result(timeout=0)
+        except CancelledError:
+            self._attempt_dead(state, attempt)
+            return
+        except BrokenExecutor as exc:
+            # The attempt was lost with the pool, not failed by the task;
+            # it still consumed budget (it may be the one that crashed).
+            state.last_error = exc
+            self._attempt_dead(state, attempt)
+            self._needs_respawn = True
+            self._queue_retry(state, self._clock())
+            return
+        except Exception as exc:
+            state.last_error = exc
+            self._attempt_dead(state, attempt)
+            self._queue_retry(state, self._clock())
+            return
+        if state.resolved:
+            # First commit won already; this straggler's output is unusable.
+            self._attempt_dead(state, attempt)
+            return
+        state.resolved = True
+        state.value = value
+        state.winner = attempt.number
+        self._unresolved -= 1
+        self._phase_committed[state.phase] = (
+            self._phase_committed.get(state.phase, 0) + 1
+        )
+        self._phase_duration_sum[state.phase] = self._phase_duration_sum.get(
+            state.phase, 0.0
+        ) + max(0.0, self._clock() - attempt.started)
+        # Cancel duplicates still queued; running ones become watched losers.
+        for other in list(state.running):
+            other.cancel()
+        if on_complete is not None:
+            on_complete(state.phase, state.index, value)
+
+    def _attempt_dead(self, state: _TaskState, attempt: _Attempt) -> None:
+        if self._on_attempt_dead is not None:
+            self._on_attempt_dead(state.phase, state.index, attempt.number)
+
+    # ------------------------------------------------------------------ #
+    # deadlines and speculation
+    # ------------------------------------------------------------------ #
+
+    def _check_deadlines(self, now: float) -> None:
+        timeout = self.policy.task_timeout
+        if timeout is None:
+            return
+        for state in self._tasks.values():
+            if state.resolved:
+                continue
+            for attempt in state.running.values():
+                if attempt.timed_out or now - attempt.started <= timeout:
+                    continue
+                # Zombie: keep watching (a late finish can still win) but
+                # consume budget and queue the replacement now.
+                attempt.timed_out = True
+                state.last_error = TimeoutError(
+                    f"{state.phase} task {state.index} attempt {attempt.number} "
+                    f"exceeded task_timeout={timeout}s"
+                )
+                self._queue_retry(state, now)
+
+    def _maybe_speculate(self, now: float) -> None:
+        if not self.policy.speculative:
+            return
+        for phase, total in self._phase_total.items():
+            committed = self._phase_committed.get(phase, 0)
+            if committed == 0 or committed / total < self.policy.speculative_fraction:
+                continue
+            mean = self._phase_duration_sum.get(phase, 0.0) / committed
+            floor = self.policy.speculative_multiplier * max(mean, 1e-6)
+            for state in self._tasks.values():
+                if state.phase != phase or state.resolved or state.speculated:
+                    continue
+                live = state.live_attempts()
+                if len(live) != 1 or state.retry_queued:
+                    continue
+                if now - live[0].started > floor:
+                    self._launch(state, speculative=True)
+
+    # ------------------------------------------------------------------ #
+    # wait timing / drain
+    # ------------------------------------------------------------------ #
+
+    def _wait_timeout(self, now: float) -> Optional[float]:
+        """How long the loop may block on futures before housekeeping."""
+        candidates: List[float] = []
+        delay = self._next_retry_delay(now)
+        if delay is not None:
+            candidates.append(delay)
+        if self.policy.task_timeout is not None:
+            for state in self._tasks.values():
+                for attempt in state.running.values():
+                    if not attempt.timed_out:
+                        remaining = self.policy.task_timeout - (now - attempt.started)
+                        candidates.append(max(0.0, remaining))
+        if self.policy.speculative and any(
+            not s.resolved for s in self._tasks.values()
+        ):
+            candidates.append(_POLL_SECONDS)
+        if not candidates:
+            return None
+        return max(min(candidates), 0.001)
+
+    def _drain_stragglers(self) -> None:
+        """Settle zombies/losers so spill sweeps can run before close().
+
+        A timed-out or superseded attempt may still be writing its spill
+        segment; sweeping while it writes would re-leak the name the
+        moment the write lands. Bounded by ``zombie_grace`` — a truly hung
+        attempt past that is abandoned with a warning (the spill set's
+        release and the atexit registry remain the backstop).
+        """
+        if not self._futures:
+            return
+        done, not_done = wait(list(self._futures), timeout=self.policy.zombie_grace)
+        for fut in done:
+            key = self._futures.pop(fut)
+            state = self._tasks[key]
+            attempt = state.running.pop(fut, None)
+            if attempt is not None:
+                self._attempt_dead(state, attempt)
+        if not_done:
+            warnings.warn(
+                f"{len(not_done)} straggler task attempt(s) still running "
+                f"after zombie_grace={self.policy.zombie_grace}s; their spill "
+                f"output may outlive the job's sweep",
+                RuntimeWarning,
+                stacklevel=2,
+            )

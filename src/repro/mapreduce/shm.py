@@ -229,12 +229,20 @@ atexit.register(_cleanup_live_spill_sets)
 class SpillSet:
     """Driver-side owner of one streaming-shuffle job's spill segments.
 
-    The driver mints one deterministic name per map task up front
-    (``orionspill_{pid}_{job#}_{split:05d}``); workers create segments
-    *under those names* via :func:`create_segment` and detach after
-    writing, so ownership of every possible segment rests with the driver
-    from the start. :meth:`release` sweeps every name — segments that were
-    never created (inline fallback), already swept, or orphaned by a
+    The driver mints one deterministic name per map task *attempt*
+    (``orionspill_{pid}_{job#}_{split:05d}_a{attempt:02d}``); workers
+    create segments *under those names* via :func:`create_segment` and
+    detach after writing, so ownership of every possible segment rests
+    with the driver from the start. Attempt-scoped names are what make
+    per-task retries and speculative duplicates safe: two attempts of the
+    same map task never collide on a segment name, the losing attempt's
+    run is swept individually (:meth:`sweep`) without touching the
+    winner's, and a retry never trips over a stale segment squatting on
+    its name.
+
+    Names are minted lazily — :meth:`name_for` records every name it
+    hands out — and :meth:`release` sweeps all of them. Segments that
+    were never created (inline fallback), already swept, or orphaned by a
     worker that crashed between create and report are all covered by the
     same idempotent :func:`sweep_segment` call. Until released, the set
     sits in a module registry drained at interpreter exit, mirroring the
@@ -245,28 +253,50 @@ class SpillSet:
         ensure_resource_tracker()
         token = f"{os.getpid()}_{next(_SPILL_COUNTER)}"
         self.set_id = f"orionspill_{token}"
-        self._names: Tuple[str, ...] = tuple(
-            f"{self.set_id}_{i:05d}" for i in range(num_segments)
-        )
+        self.num_segments = num_segments
+        # Insertion-ordered so release() sweeps in minting order (determinism
+        # for tests; sweeping itself is order-independent).
+        self._minted: Dict[str, None] = {}
         self._released = False
         _LIVE_SPILL_SETS[self.set_id] = self
 
     @property
     def names(self) -> Tuple[str, ...]:
-        return self._names
+        """Every name minted so far (and not yet individually swept)."""
+        return tuple(self._minted)
 
-    def name_for(self, split_index: int) -> str:
-        """The spill segment name reserved for one map task."""
-        return self._names[split_index]
+    def _name(self, split_index: int, attempt: int) -> str:
+        return f"{self.set_id}_{split_index:05d}_a{attempt:02d}"
+
+    def name_for(self, split_index: int, attempt: int = 1) -> str:
+        """Reserve the spill segment name for one map task attempt.
+
+        Minting records the name, so :meth:`release` sweeps everything
+        ever handed out — including attempts that died before reporting.
+        """
+        name = self._name(split_index, attempt)
+        self._minted[name] = None
+        return name
+
+    def sweep(self, split_index: int, attempt: int = 1) -> bool:
+        """Sweep one attempt's segment now (failed/superseded attempts).
+
+        Idempotent and safe for never-created segments; ``True`` when a
+        segment was actually removed.
+        """
+        name = self._name(split_index, attempt)
+        self._minted.pop(name, None)
+        return sweep_segment(name)
 
     def release(self) -> None:
-        """Sweep every segment of this set (idempotent)."""
+        """Sweep every minted segment of this set (idempotent)."""
         if self._released:
             return
         self._released = True
         _LIVE_SPILL_SETS.pop(self.set_id, None)
-        for name in self._names:
+        for name in self._minted:
             sweep_segment(name)
+        self._minted = {}
 
     def __enter__(self) -> "SpillSet":
         return self

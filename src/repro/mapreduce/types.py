@@ -53,6 +53,16 @@ class TaskRecord:
     benchmarks can report moved bytes alongside wall time; the barrier
     shuffle leaves them 0 (its data movement happens driver-side, outside
     any task).
+
+    ``attempts`` / ``winner`` / ``speculative`` are the fault-tolerance
+    trail stamped by the task scheduler: how many attempts the task
+    consumed, which attempt's output was committed (first commit wins),
+    and whether a speculative duplicate was launched. ``duration`` is the
+    winning attempt's, so a record that retried is still one valid
+    measurement of the work. ``fallback_reason`` is non-empty only on
+    records produced by a whole-job serial fallback, naming why the job
+    went serial (operator forensics; such records are by construction
+    ``executor="serial"``).
     """
 
     task_id: str
@@ -64,6 +74,10 @@ class TaskRecord:
     contended: bool = False
     shuffle_bytes_in: int = 0
     shuffle_bytes_out: int = 0
+    attempts: int = 1
+    winner: int = 1
+    speculative: bool = False
+    fallback_reason: str = ""
 
     def __post_init__(self) -> None:
         if self.duration < 0:
@@ -72,6 +86,11 @@ class TaskRecord:
             raise ValueError("task_id must be non-empty")
         if self.shuffle_bytes_in < 0 or self.shuffle_bytes_out < 0:
             raise ValueError("shuffle byte counts must be non-negative")
+        if self.attempts < 1 or not 1 <= self.winner <= self.attempts:
+            raise ValueError(
+                f"need attempts >= 1 and 1 <= winner <= attempts, "
+                f"got attempts={self.attempts}, winner={self.winner}"
+            )
 
     @property
     def simulator_safe(self) -> bool:
@@ -100,6 +119,10 @@ class TaskRecord:
             contended=self.contended,
             shuffle_bytes_in=self.shuffle_bytes_in,
             shuffle_bytes_out=self.shuffle_bytes_out,
+            attempts=self.attempts,
+            winner=self.winner,
+            speculative=self.speculative,
+            fallback_reason=self.fallback_reason,
         )
 
 

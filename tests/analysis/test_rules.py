@@ -19,6 +19,7 @@ from repro.analysis.rules.mapreduce_rules import (
     TaskCallablePicklableRule,
 )
 from repro.analysis.rules.resource_rules import SharedMemoryLifecycleRule
+from repro.analysis.rules.robustness_rules import RetryBackoffRule
 
 
 def run_rule(rule, source):
@@ -30,9 +31,9 @@ def rule_ids(findings):
 
 
 class TestDefaultRuleSet:
-    def test_eight_rules_in_id_order(self):
+    def test_nine_rules_in_id_order(self):
         ids = [r.rule_id for r in default_rules()]
-        assert ids == [f"ORL00{i}" for i in range(1, 9)]
+        assert ids == [f"ORL00{i}" for i in range(1, 10)]
         assert ids == sorted(ids)
 
     def test_every_rule_documents_its_invariant(self):
@@ -546,3 +547,183 @@ class TestORL008SharedMemoryLifecycle:
             """,
         )
         assert findings == []
+
+
+class TestORL009RetryBackoff:
+    def test_time_sleep_attribute_call_flagged(self):
+        findings = run_rule(
+            RetryBackoffRule(),
+            """\
+            import time
+
+            def backoff():
+                time.sleep(1.0)
+            """,
+        )
+        assert rule_ids(findings) == ["ORL009"]
+        assert findings[0].line == 4
+        assert findings[0].severity is Severity.ERROR
+        assert "time.sleep" in findings[0].message
+
+    def test_from_import_sleep_flagged(self):
+        findings = run_rule(
+            RetryBackoffRule(),
+            """\
+            from time import sleep
+
+            def backoff():
+                sleep(0.5)
+            """,
+        )
+        assert rule_ids(findings) == ["ORL009"]
+        assert findings[0].line == 4
+
+    def test_other_sleep_name_not_flagged(self):
+        # A local `sleep` that is not time.sleep (e.g. an injected hook)
+        # is exactly the blessed pattern; only the stdlib one is flagged.
+        findings = run_rule(
+            RetryBackoffRule(),
+            """\
+            def wait(policy, delay):
+                policy.sleep(delay)
+
+            def wait2(sleep, delay):
+                sleep(delay)
+            """,
+        )
+        assert findings == []
+
+    def test_unbounded_retry_loop_flagged(self):
+        findings = run_rule(
+            RetryBackoffRule(),
+            """\
+            def fetch():
+                while True:
+                    try:
+                        return attempt()
+                    except OSError:
+                        continue
+            """,
+        )
+        assert rule_ids(findings) == ["ORL009"]
+        assert findings[0].line == 2
+        assert "attempt bound" in findings[0].message
+
+    def test_while_one_also_infinite(self):
+        findings = run_rule(
+            RetryBackoffRule(),
+            """\
+            while 1:
+                try:
+                    step()
+                except ValueError:
+                    pass
+            """,
+        )
+        assert rule_ids(findings) == ["ORL009"]
+
+    def test_handler_reraise_bounds_the_loop(self):
+        # The canonical bounded idiom: count attempts, re-raise at budget.
+        findings = run_rule(
+            RetryBackoffRule(),
+            """\
+            def fetch(budget):
+                attempt = 0
+                while True:
+                    try:
+                        return step()
+                    except OSError:
+                        attempt += 1
+                        if attempt >= budget:
+                            raise
+            """,
+        )
+        assert findings == []
+
+    def test_handler_break_exits_instead_of_retrying(self):
+        findings = run_rule(
+            RetryBackoffRule(),
+            """\
+            while True:
+                try:
+                    step()
+                except ValueError:
+                    break
+            """,
+        )
+        assert findings == []
+
+    def test_bounded_for_loop_not_flagged(self):
+        findings = run_rule(
+            RetryBackoffRule(),
+            """\
+            for attempt in range(3):
+                try:
+                    step()
+                    break
+                except OSError:
+                    continue
+            """,
+        )
+        assert findings == []
+
+    def test_conditioned_while_not_flagged(self):
+        findings = run_rule(
+            RetryBackoffRule(),
+            """\
+            def drain(queue):
+                while queue.pending():
+                    try:
+                        queue.pop()
+                    except KeyError:
+                        pass
+            """,
+        )
+        assert findings == []
+
+    def test_infinite_loop_without_try_not_flagged(self):
+        # Infinite service loops without exception swallowing are the
+        # splitter/fragmenter idiom: their bodies break explicitly.
+        findings = run_rule(
+            RetryBackoffRule(),
+            """\
+            while True:
+                chunk = read()
+                if not chunk:
+                    break
+                emit(chunk)
+            """,
+        )
+        assert findings == []
+
+    def test_nested_def_does_not_excuse_or_implicate(self):
+        # A raise inside a nested def cannot bound the enclosing loop,
+        # and a sleep inside a nested def is still a sleep.
+        findings = run_rule(
+            RetryBackoffRule(),
+            """\
+            import time
+
+            while True:
+                try:
+                    step()
+                except OSError:
+                    def explode():
+                        raise RuntimeError
+            """,
+        )
+        assert rule_ids(findings) == ["ORL009"]
+        assert findings[0].line == 3
+
+    def test_suppression_comment_respected(self):
+        findings = run_rule(
+            RetryBackoffRule(),
+            """\
+            import time
+
+            def hang(seconds):
+                time.sleep(seconds)  # orionlint: disable=ORL009
+            """,
+        )
+        assert rule_ids(findings) == ["ORL009"]
+        assert findings[0].suppressed is True

@@ -1,0 +1,603 @@
+"""Fault-tolerance tests: injector, retry policy, scheduler, fault matrix.
+
+The matrix at the bottom is the load-bearing part: every fault kind is
+injected into every phase under every start method and shuffle, and the job
+must recover *in place* — byte-identical output, no whole-job serial
+fallback, the targeted task's retry visible in its TaskRecord, and nothing
+left behind in ``/dev/shm``.
+"""
+
+import os
+import pickle
+import time
+import warnings
+from concurrent.futures import BrokenExecutor, Future, ThreadPoolExecutor
+
+import pytest
+
+from repro.mapreduce.faults import (
+    ANY,
+    FaultInjector,
+    FaultSpec,
+    RetryPolicy,
+    TaskFailedError,
+    TransientTaskError,
+)
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.runtime import ProcessExecutor, SerialExecutor, WorkerPool
+from repro.mapreduce.scheduler import TaskScheduler
+from repro.mapreduce.types import TaskKind
+from tests.mapreduce.test_runtime import (
+    _sum_reducer,
+    make_job,
+    make_splits,
+)
+
+
+def _shm_segments():
+    """Live repro-owned shared-memory segments (Linux probe; empty elsewhere)."""
+    try:
+        return {
+            n
+            for n in os.listdir("/dev/shm")
+            if n.startswith("orionspill_") or n.startswith("psm_")
+        }
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
+
+
+def fast_policy(**overrides):
+    """A RetryPolicy whose backoff never wall-clock waits in tests."""
+    overrides.setdefault("backoff_base", 0.001)
+    overrides.setdefault("backoff_jitter", 0.0)
+    return RetryPolicy(**overrides)
+
+
+def _poison_mapper(split):
+    raise ValueError(f"poisoned split {split.index}")
+    yield  # pragma: no cover - makes this a generator function
+
+
+# --------------------------------------------------------------------------- #
+# FaultSpec / FaultInjector
+# --------------------------------------------------------------------------- #
+
+
+class TestFaultSpec:
+    def test_validates_phase_and_kind(self):
+        with pytest.raises(ValueError, match="phase"):
+            FaultSpec(phase="shuffle", kind="crash")
+        with pytest.raises(ValueError, match="kind"):
+            FaultSpec(phase="map", kind="explode")
+
+    def test_pinned_address_matches_exactly(self):
+        spec = FaultSpec(phase="map", kind="transient", index=3, attempt=2)
+        assert spec.matches("map", 3, 2)
+        assert not spec.matches("map", 3, 1)
+        assert not spec.matches("map", 2, 2)
+        assert not spec.matches("reduce", 3, 2)
+
+    def test_wildcards(self):
+        spec = FaultSpec(phase="reduce", kind="shm")  # index=ANY, attempt=ANY
+        assert spec.matches("reduce", 0, 1)
+        assert spec.matches("reduce", 7, 4)
+        assert not spec.matches("map", 0, 1)
+        only_first_attempt = FaultSpec(phase="map", kind="crash", attempt=1)
+        assert only_first_attempt.matches("map", 5, 1)
+        assert not only_first_attempt.matches("map", 5, 2)
+
+    def test_picklable(self):
+        spec = FaultSpec(phase="map", kind="hang", index=1, hang_seconds=2.0)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestFaultInjector:
+    def test_explicit_spec_addressing(self):
+        spec = FaultSpec(phase="map", kind="transient", index=1, attempt=1)
+        inj = FaultInjector(specs=(spec,))
+        assert inj.fault_for("map", 1, 1) is spec
+        assert inj.fault_for("map", 1, 2) is None
+        assert inj.fault_for("reduce", 1, 1) is None
+
+    def test_fire_raises_transient(self):
+        inj = FaultInjector(
+            specs=(FaultSpec(phase="map", kind="transient", index=0, attempt=1),)
+        )
+        with pytest.raises(TransientTaskError, match="map/0 attempt 1"):
+            inj.fire("map", 0, 1)
+        inj.fire("map", 0, 2)  # address miss: no fault
+
+    def test_shm_faults_fire_only_at_shm_touch_points(self):
+        inj = FaultInjector(specs=(FaultSpec(phase="reduce", kind="shm"),))
+        inj.fire("reduce", 0, 1)  # task entry: shm faults do nothing here
+        with pytest.raises(OSError, match="injected shm fault"):
+            inj.shm_fault("reduce", 0, 1)
+        inj.shm_fault("map", 0, 1)  # address miss: no fault
+
+    def test_random_mode_is_deterministic_and_address_keyed(self):
+        a = FaultInjector(seed=7, rate=0.5)
+        b = FaultInjector(seed=7, rate=0.5)
+        decisions_a = [a.fault_for("map", i, 1) is not None for i in range(32)]
+        decisions_b = [b.fault_for("map", i, 1) is not None for i in range(32)]
+        assert decisions_a == decisions_b
+        assert any(decisions_a) and not all(decisions_a)
+        # Keyed by address, not draw order: querying in reverse agrees.
+        reversed_b = [
+            b.fault_for("map", i, 1) is not None for i in reversed(range(32))
+        ]
+        assert decisions_a == list(reversed(reversed_b))
+
+    def test_random_mode_respects_phase_and_rate_bounds(self):
+        inj = FaultInjector(seed=1, rate=1.0, random_phase="map")
+        assert inj.fault_for("map", 0, 1) is not None
+        assert inj.fault_for("reduce", 0, 1) is None
+        assert FaultInjector(seed=1, rate=0.0).fault_for("map", 0, 1) is None
+
+    def test_validates_rate_and_kind(self):
+        with pytest.raises(ValueError, match="rate"):
+            FaultInjector(rate=1.5)
+        with pytest.raises(ValueError, match="random_kind"):
+            FaultInjector(random_kind="explode")
+
+    def test_picklable(self):
+        inj = FaultInjector(
+            specs=(FaultSpec(phase="map", kind="crash", index=1),), seed=3
+        )
+        assert pickle.loads(pickle.dumps(inj)) == inj
+
+
+# --------------------------------------------------------------------------- #
+# RetryPolicy
+# --------------------------------------------------------------------------- #
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="task_timeout"):
+            RetryPolicy(task_timeout=0.0)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(backoff_jitter=1.0)
+        with pytest.raises(ValueError, match="multiplier"):
+            RetryPolicy(backoff_multiplier=0.5)
+        with pytest.raises(ValueError, match="speculative_fraction"):
+            RetryPolicy(speculative_fraction=0.0)
+
+    def test_first_attempt_never_waits(self):
+        assert RetryPolicy().backoff_seconds(1, "map/0") == 0.0
+
+    def test_exponential_schedule_without_jitter(self):
+        policy = RetryPolicy(
+            backoff_base=0.02, backoff_multiplier=2.0, backoff_jitter=0.0
+        )
+        assert policy.backoff_seconds(2, "map/0") == pytest.approx(0.02)
+        assert policy.backoff_seconds(3, "map/0") == pytest.approx(0.04)
+        assert policy.backoff_seconds(4, "map/0") == pytest.approx(0.08)
+
+    def test_jitter_is_bounded_and_deterministic(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_jitter=0.25, seed=5)
+        first = policy.backoff_seconds(2, "map/3")
+        assert first == policy.backoff_seconds(2, "map/3")
+        assert 0.075 <= first <= 0.125
+        # Different tasks retrying at once must not thunder in lockstep.
+        others = {policy.backoff_seconds(2, f"map/{i}") for i in range(8)}
+        assert len(others) > 1
+
+    def test_single_attempt_reproduces_pre_fault_tolerance_behaviour(self):
+        # max_attempts=1 is the documented escape hatch: any failure goes
+        # straight to the serial-fallback ladder, even a transient one a
+        # retry would have absorbed.
+        spec = FaultSpec(phase="map", kind="transient", index=1, attempt=1)
+        ex = ProcessExecutor(
+            max_workers=2,
+            retry=fast_policy(max_attempts=1),
+            injector=FaultInjector(specs=(spec,)),
+        )
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            result = ex.run(make_job(), make_splits(4))
+        assert all(r.executor == "serial" for r in result.records)
+
+
+# --------------------------------------------------------------------------- #
+# TaskScheduler (driver-side unit tests over a thread pool / fake futures)
+# --------------------------------------------------------------------------- #
+
+
+@pytest.fixture
+def thread_pool():
+    pool = ThreadPoolExecutor(max_workers=4)
+    yield pool
+    pool.shutdown(wait=True)
+
+
+def _noop_sleep(_seconds):
+    return None
+
+
+class TestTaskScheduler:
+    def test_all_tasks_commit_first_attempt(self, thread_pool):
+        sched = TaskScheduler(fast_policy(sleep=_noop_sleep))
+        for i in range(4):
+            sched.add("map", i, lambda a, i=i: thread_pool.submit(lambda: i * 10))
+        completed = []
+        sched.run(on_complete=lambda ph, idx, val: completed.append((ph, idx, val)))
+        assert sorted(completed) == [("map", i, i * 10) for i in range(4)]
+        for i in range(4):
+            assert sched.result("map", i) == i * 10
+            meta = sched.meta("map", i)
+            assert (meta.attempts, meta.winner, meta.speculative) == (1, 1, False)
+
+    def test_failed_attempt_retries_and_reports_the_dead_attempt(self, thread_pool):
+        dead = []
+        sched = TaskScheduler(
+            fast_policy(sleep=_noop_sleep),
+            on_attempt_dead=lambda ph, idx, att: dead.append((ph, idx, att)),
+        )
+
+        def work(attempt):
+            if attempt == 1:
+                raise TransientTaskError("first attempt dies")
+            return "recovered"
+
+        sched.add("map", 0, lambda a: thread_pool.submit(work, a))
+        sched.run()
+        assert sched.result("map", 0) == "recovered"
+        meta = sched.meta("map", 0)
+        assert (meta.attempts, meta.winner) == (2, 2)
+        assert dead == [("map", 0, 1)]
+
+    def test_exhausted_budget_raises_named_chained_error(self, thread_pool):
+        sched = TaskScheduler(fast_policy(max_attempts=2, sleep=_noop_sleep))
+
+        def work(_attempt):
+            raise ValueError("persistent")
+
+        sched.add("reduce", 3, lambda a: thread_pool.submit(work, a))
+        with pytest.raises(TaskFailedError) as ei:
+            sched.run()
+        assert (ei.value.phase, ei.value.index, ei.value.attempts) == ("reduce", 3, 2)
+        assert isinstance(ei.value.__cause__, ValueError)
+
+    def test_deadline_retry_beats_the_zombie(self, thread_pool):
+        dead = []
+        sched = TaskScheduler(
+            fast_policy(task_timeout=0.15, zombie_grace=5.0, sleep=_noop_sleep),
+            on_attempt_dead=lambda ph, idx, att: dead.append((ph, idx, att)),
+        )
+
+        def work(attempt):
+            if attempt == 1:
+                time.sleep(0.6)  # straggles past the deadline
+            return f"attempt-{attempt}"
+
+        sched.add("map", 0, lambda a: thread_pool.submit(work, a))
+        sched.run()
+        assert sched.result("map", 0) == "attempt-2"
+        meta = sched.meta("map", 0)
+        assert (meta.attempts, meta.winner) == (2, 2)
+        # The zombie was drained and reported dead so spills can be swept.
+        assert ("map", 0, 1) in dead
+
+    def test_zombie_that_finishes_first_still_wins(self, thread_pool):
+        sched = TaskScheduler(
+            fast_policy(
+                max_attempts=2, task_timeout=0.3, zombie_grace=5.0, sleep=_noop_sleep
+            )
+        )
+
+        def work(attempt):
+            # Attempt 1 misses the deadline but lands well before its
+            # replacement: first commit wins, the replacement is discarded.
+            time.sleep(0.45 if attempt == 1 else 0.8)
+            return f"attempt-{attempt}"
+
+        sched.add("map", 0, lambda a: thread_pool.submit(work, a))
+        sched.run()
+        assert sched.result("map", 0) == "attempt-1"
+        meta = sched.meta("map", 0)
+        assert (meta.attempts, meta.winner) == (2, 1)
+
+    def test_speculation_duplicates_the_straggler(self, thread_pool):
+        sched = TaskScheduler(
+            fast_policy(
+                speculative=True,
+                speculative_fraction=0.5,
+                speculative_multiplier=1.5,
+                sleep=_noop_sleep,
+            )
+        )
+
+        def work(index, attempt):
+            if index == 3 and attempt == 1:
+                time.sleep(0.8)  # the straggler a duplicate must race
+            return (index, attempt)
+
+        for i in range(4):
+            sched.add("map", i, lambda a, i=i: thread_pool.submit(work, i, a))
+        sched.run()
+        meta = sched.meta("map", 3)
+        assert meta.speculative
+        assert meta.attempts == 2
+        assert sched.result("map", 3) == (3, 2)  # the duplicate won
+        assert all(not sched.meta("map", i).speculative for i in range(3))
+
+    def test_broken_future_respawns_pool_once_and_retries(self):
+        respawns = []
+
+        def submit(attempt):
+            fut = Future()
+            if attempt == 1:
+                fut.set_exception(BrokenExecutor("pool died"))
+            else:
+                fut.set_result("after respawn")
+            return fut
+
+        sched = TaskScheduler(
+            fast_policy(sleep=_noop_sleep), respawn=lambda: respawns.append(1)
+        )
+        sched.add("map", 0, submit)
+        sched.run()
+        assert sched.result("map", 0) == "after respawn"
+        assert sched.meta("map", 0).attempts == 2
+        assert len(respawns) == 1
+
+    def test_submit_onto_broken_pool_respawns_and_resubmits(self):
+        respawns = []
+        calls = []
+
+        def submit(attempt):
+            calls.append(attempt)
+            if len(calls) == 1:
+                raise BrokenExecutor("pool already broken at submit")
+            fut = Future()
+            fut.set_result("ok")
+            return fut
+
+        sched = TaskScheduler(
+            fast_policy(sleep=_noop_sleep), respawn=lambda: respawns.append(1)
+        )
+        sched.add("map", 0, submit)
+        sched.run()
+        assert sched.result("map", 0) == "ok"
+        assert calls == [1, 1]  # same attempt resubmitted, not a retry
+        assert sched.meta("map", 0).attempts == 1
+        assert len(respawns) == 1
+
+    def test_on_complete_may_add_tasks(self, thread_pool):
+        # Reduce slowstart rides on this: map commits schedule reduce tasks.
+        sched = TaskScheduler(fast_policy(sleep=_noop_sleep))
+
+        def on_complete(phase, index, _value):
+            if phase == "map":
+                sched.add(
+                    "reduce", index, lambda a, i=index: thread_pool.submit(lambda: -i)
+                )
+
+        for i in range(3):
+            sched.add("map", i, lambda a, i=i: thread_pool.submit(lambda: i))
+        sched.run(on_complete=on_complete)
+        assert [sched.result("reduce", i) for i in range(3)] == [0, -1, -2]
+
+    def test_backoff_waits_route_through_the_injectable_sleep(self):
+        slept = []
+
+        def submit(attempt):
+            fut = Future()
+            if attempt < 3:
+                fut.set_exception(TransientTaskError(f"attempt {attempt}"))
+            else:
+                fut.set_result("third time lucky")
+            return fut
+
+        policy = RetryPolicy(
+            backoff_base=0.01, backoff_jitter=0.0, sleep=slept.append
+        )
+        sched = TaskScheduler(policy)
+        sched.add("map", 0, submit)
+        sched.run()
+        assert sched.result("map", 0) == "third time lucky"
+        # Both backoffs blocked through the hook (no futures were in
+        # flight), with the exponential schedule's delays.
+        assert len(slept) >= 2
+        assert max(slept) <= 0.03
+
+
+# --------------------------------------------------------------------------- #
+# the fault matrix: every kind x phase x start method x shuffle recovers
+# --------------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def serial_output():
+    result = SerialExecutor().run(make_job(), make_splits(4))
+    return sorted(result.flat_outputs())
+
+
+def _record_for(result, phase, index):
+    kind = TaskKind.MAP if phase == "map" else TaskKind.REDUCE
+    matches = [
+        r
+        for r in result.records
+        if r.kind is kind and r.task_id.endswith(f"{index:05d}")
+    ]
+    assert len(matches) == 1, matches
+    return matches[0]
+
+
+class TestFaultMatrix:
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    @pytest.mark.parametrize("shuffle", ["barrier", "streaming"])
+    @pytest.mark.parametrize("phase", ["map", "reduce"])
+    @pytest.mark.parametrize("kind", ["crash", "hang", "transient", "shm"])
+    def test_one_fault_recovers_in_place(
+        self, kind, phase, shuffle, start_method, serial_output
+    ):
+        spec = FaultSpec(
+            phase=phase, kind=kind, index=1, attempt=1, hang_seconds=1.5
+        )
+        policy = fast_policy(task_timeout=0.35 if kind == "hang" else None)
+        before = _shm_segments()
+        executor = ProcessExecutor(
+            max_workers=2,
+            start_method=start_method,
+            shuffle=shuffle,
+            retry=policy,
+            injector=FaultInjector(specs=(spec,)),
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any serial fallback fails the test
+            result = executor.run(make_job(), make_splits(4))
+
+        assert sorted(result.flat_outputs()) == serial_output
+        assert all(r.executor == "processes" for r in result.records)
+        assert all(r.fallback_reason == "" for r in result.records)
+
+        target = _record_for(result, phase, 1)
+        if (kind, phase, shuffle) == ("shm", "map", "streaming"):
+            # A failed spill write degrades to the inline-bytes path inside
+            # the same attempt; nothing retries.
+            assert all(r.attempts == 1 for r in result.records)
+        else:
+            assert target.attempts == 2
+            assert target.winner == 2
+        assert _shm_segments() - before == set()
+
+    @pytest.mark.parametrize("shuffle", ["barrier", "streaming"])
+    def test_speculative_duplicate_races_an_injected_straggler(
+        self, shuffle, serial_output
+    ):
+        # No deadline here: speculation alone must rescue the hung task.
+        spec = FaultSpec(
+            phase="map", kind="hang", index=1, attempt=1, hang_seconds=1.5
+        )
+        policy = fast_policy(
+            speculative=True, speculative_fraction=0.5, speculative_multiplier=1.5
+        )
+        executor = ProcessExecutor(
+            max_workers=4,
+            shuffle=shuffle,
+            retry=policy,
+            injector=FaultInjector(specs=(spec,)),
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            result = executor.run(make_job(), make_splits(4))
+        assert sorted(result.flat_outputs()) == serial_output
+        target = _record_for(result, "map", 1)
+        assert target.speculative
+        assert target.attempts == 2
+        assert target.winner == 2
+
+
+class TestWorkerPoolFaults:
+    @pytest.mark.parametrize("shuffle", ["barrier", "streaming"])
+    def test_crash_respawns_and_the_pool_stays_usable(self, shuffle, serial_output):
+        spec = FaultSpec(phase="map", kind="crash", index=1, attempt=1)
+        before = _shm_segments()
+        pool = WorkerPool(
+            max_workers=2,
+            shuffle=shuffle,
+            retry=fast_policy(),
+            injector=FaultInjector(specs=(spec,)),
+        )
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                first = pool.run(make_job(), make_splits(4))
+                second = pool.run(make_job(), make_splits(4))
+        finally:
+            pool.shutdown()
+        assert sorted(first.flat_outputs()) == serial_output
+        assert sorted(second.flat_outputs()) == serial_output
+        assert _record_for(first, "map", 1).attempts == 2
+        assert _shm_segments() - before == set()
+
+
+# --------------------------------------------------------------------------- #
+# acceptance: one delayed crash, recovered without any serial work
+# --------------------------------------------------------------------------- #
+
+
+class TestAcceptanceSingleCrash:
+    def test_crashed_map_task_is_redone_alone(self, serial_output):
+        """ISSUE 5 acceptance: a worker crash killing exactly one map task
+        of a 4-worker streaming run is recovered by retrying that one task
+        on a respawned pool — no serial fallback, byte-identical output,
+        exactly one record shows a second attempt, nothing leaks."""
+        before = _shm_segments()
+        # The delay lets the crasher's ms-fast wave-mates commit first, so
+        # precisely one task is in flight when the pool breaks.
+        spec = FaultSpec(phase="map", kind="crash", index=1, attempt=1, delay=0.3)
+        executor = ProcessExecutor(
+            max_workers=4,
+            shuffle="streaming",
+            retry=fast_policy(),
+            injector=FaultInjector(specs=(spec,)),
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a fallback warning fails the test
+            result = executor.run(make_job(), make_splits(4))
+
+        assert sorted(result.flat_outputs()) == serial_output
+        assert all(r.executor == "processes" for r in result.records)
+        retried = [r for r in result.records if r.attempts > 1]
+        assert len(retried) == 1
+        (record,) = retried
+        assert record.kind is TaskKind.MAP
+        assert record.task_id.endswith("00001")
+        assert (record.attempts, record.winner) == (2, 2)
+        assert _shm_segments() - before == set()
+
+
+# --------------------------------------------------------------------------- #
+# the fallback ladder: exhaustion, reasons, and unmasked causes
+# --------------------------------------------------------------------------- #
+
+
+class TestFallbackLadder:
+    def test_exhausted_budget_falls_back_with_reason_stamped(self, serial_output):
+        # attempt=ANY: the fault outlives every retry, so the budget spends
+        # out and the job reruns serially — correctly, with forensics.
+        spec = FaultSpec(phase="map", kind="transient", index=1, attempt=ANY)
+        executor = ProcessExecutor(
+            max_workers=2,
+            retry=fast_policy(max_attempts=2),
+            injector=FaultInjector(specs=(spec,)),
+        )
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            result = executor.run(make_job(), make_splits(4))
+        assert sorted(result.flat_outputs()) == serial_output
+        assert all(r.executor == "serial" for r in result.records)
+        assert all("TaskFailedError" in r.fallback_reason for r in result.records)
+
+    @pytest.mark.parametrize("shuffle", ["barrier", "streaming"])
+    def test_exhaustion_sweeps_spills_before_serial_rerun(
+        self, shuffle, serial_output
+    ):
+        spec = FaultSpec(phase="reduce", kind="transient", index=0, attempt=ANY)
+        before = _shm_segments()
+        executor = ProcessExecutor(
+            max_workers=2,
+            shuffle=shuffle,
+            retry=fast_policy(max_attempts=2),
+            injector=FaultInjector(specs=(spec,)),
+        )
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            result = executor.run(make_job(), make_splits(4))
+        assert sorted(result.flat_outputs()) == serial_output
+        assert _shm_segments() - before == set()
+
+    def test_serial_failure_does_not_mask_the_original_task_error(self):
+        job = MapReduceJob(
+            mapper=_poison_mapper, reducer=_sum_reducer, num_reducers=2, name="t"
+        )
+        executor = ProcessExecutor(max_workers=2, retry=fast_policy(max_attempts=2))
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            with pytest.raises(RuntimeError, match="also failed") as ei:
+                executor.run(job, make_splits(2))
+        # The raised error names the failing task and chains the original.
+        assert "original failure was map task" in str(ei.value)
+        assert isinstance(ei.value.__cause__, TaskFailedError)
+        assert ei.value.__cause__.phase == "map"
+        assert ei.value.__cause__.attempts == 2

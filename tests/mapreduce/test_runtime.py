@@ -267,12 +267,16 @@ class TestProcessExecutor:
         job = make_job()
         blob = pickle.dumps(job)
         assert len(blob) < 10_000  # sanity: module-refs, not code objects
-        # The real assertion is architectural: _process_map_task takes only
-        # the split; the job travels via the pool initializer.
+        # The real assertion is architectural: _process_map_task's item is
+        # (split, attempt, injector) — no job; it travels via the pool
+        # initializer.
         import inspect
 
-        params = list(inspect.signature(runtime_mod._process_map_task).parameters)
-        assert params == ["split"]
+        params = inspect.signature(runtime_mod._process_map_task).parameters
+        (item_param,) = params.values()
+        annotation = str(item_param.annotation)
+        assert "MapReduceJob" not in annotation
+        assert "InputSplit" in annotation
 
     def test_pool_sized_for_reduce_phase(self, monkeypatch):
         """Regression: one pool serves both phases, so it must be sized by

@@ -376,10 +376,13 @@ class TestWorkerPool:
 class TestSpillSet:
     def test_names_are_deterministic_and_driver_owned(self):
         with shm_mod.SpillSet(3) as spills:
-            assert spills.names == tuple(
-                f"{spills.set_id}_{i:05d}" for i in range(3)
+            assert spills.name_for(2) == f"{spills.set_id}_00002_a01"
+            assert spills.name_for(2, attempt=3) == f"{spills.set_id}_00002_a03"
+            # Minting records every name handed out, exactly once.
+            assert spills.names == (
+                f"{spills.set_id}_00002_a01",
+                f"{spills.set_id}_00002_a03",
             )
-            assert spills.name_for(2) == spills.names[2]
             assert spills.set_id.startswith(f"orionspill_{os.getpid()}_")
         # Distinct sets in one process must never collide.
         s1, s2 = shm_mod.SpillSet(1), shm_mod.SpillSet(1)
@@ -389,16 +392,36 @@ class TestSpillSet:
             s1.release()
             s2.release()
 
+    def test_attempts_get_distinct_names_and_individual_sweeps(self):
+        """A retried map task's new attempt never collides with the old
+        attempt's segment, and the dead attempt is swept without touching
+        the winner's run."""
+        spills = shm_mod.SpillSet(1)
+        try:
+            first = spills.name_for(0, attempt=1)
+            second = spills.name_for(0, attempt=2)
+            assert first != second
+            create_segment(4, b"dead", name=first).close()
+            create_segment(4, b"live", name=second).close()
+            assert spills.sweep(0, attempt=1) is True
+            assert not segment_exists(first)
+            assert segment_exists(second)
+            assert spills.sweep(0, attempt=1) is False  # idempotent
+        finally:
+            spills.release()
+        assert not segment_exists(second)
+
     def test_release_sweeps_created_segments_and_is_idempotent(self):
         spills = shm_mod.SpillSet(3)
-        # Simulate two workers spilling (one name intentionally left
-        # uncreated: the inline-fallback / crashed-worker case).
+        # Simulate two workers spilling (one name intentionally minted but
+        # never created: the inline-fallback / crashed-worker case).
+        names = [spills.name_for(i) for i in range(3)]
         for i in (0, 2):
-            seg = create_segment(8, b"run-data", name=spills.name_for(i))
+            seg = create_segment(8, b"run-data", name=names[i])
             seg.close()
-        assert segment_exists(spills.name_for(0))
+        assert segment_exists(names[0])
         spills.release()
-        assert not any(segment_exists(n) for n in spills.names)
+        assert not any(segment_exists(n) for n in names)
         spills.release()  # second release: no-op, no error
 
     def test_read_segment_slice_pulls_one_run(self):
@@ -413,11 +436,12 @@ class TestSpillSet:
 
     def test_cleanup_hook_reclaims_unreleased_sets(self):
         spills = shm_mod.SpillSet(2)
-        create_segment(4, b"left", name=spills.name_for(1)).close()
+        leftover = spills.name_for(1)
+        create_segment(4, b"left", name=leftover).close()
         assert spills.set_id in shm_mod._LIVE_SPILL_SETS
         shm_mod._cleanup_live_spill_sets()
         assert spills.set_id not in shm_mod._LIVE_SPILL_SETS
-        assert not any(segment_exists(n) for n in spills.names)
+        assert not segment_exists(leftover)
 
     def test_sweep_segment_reports_removal(self):
         spills = shm_mod.SpillSet(1)
