@@ -65,12 +65,20 @@ def two_hit_filter(hits: SeedHits, window: int) -> SeedHits:
     """NCBI's two-hit heuristic: extend only where a diagonal has two hits.
 
     A seed survives when another seed sits on the *same diagonal* within
-    ``window`` query positions (ahead or behind, non-identical). Isolated
-    random hits — the vast majority in low-similarity scans — are discarded
-    before the (comparatively expensive) ungapped extension, trading a
-    little sensitivity for a large constant-factor speedup, exactly as in
-    gapped BLAST [Altschul et al. 1997]. One-hit seeding remains the
-    nucleotide default (paper Table I uses classic blastn behaviour).
+    ``window`` query positions (ahead or behind, non-identical: a pairing
+    partner must satisfy ``0 < Δq <= window``, so a zero-distance duplicate
+    of a hit never vouches for it). Isolated random hits — the vast
+    majority in low-similarity scans — are discarded before the
+    (comparatively expensive) ungapped extension, trading a little
+    sensitivity for a large constant-factor speedup, exactly as in gapped
+    BLAST [Altschul et al. 1997]. One-hit seeding remains the nucleotide
+    default (paper Table I uses classic blastn behaviour).
+
+    Thinned hits (:func:`thin_seeds`) are duplicate-free by construction;
+    unthinned hit sets may carry exact ``(q, s)`` duplicates, which pair
+    with nothing themselves yet must not mask a genuine partner for their
+    copies — duplicates are collapsed to one representative before the
+    window check and every copy inherits its representative's verdict.
     """
     if window <= 0:
         raise ValueError(f"window must be positive, got {window}")
@@ -80,11 +88,21 @@ def two_hit_filter(hits: SeedHits, window: int) -> SeedHits:
     order = np.lexsort((hits.q_pos, diag))
     d = diag[order]
     q = hits.q_pos[order]
-    same_prev = np.zeros(len(hits), dtype=bool)
-    same_next = np.zeros(len(hits), dtype=bool)
-    same_prev[1:] = (d[1:] == d[:-1]) & (q[1:] - q[:-1] <= window)
+    # Collapse exact duplicates (same diagonal, same q ⇒ same hit): a
+    # Δq = 0 neighbour is the hit itself, not a second hit, so it neither
+    # counts as a partner nor may it sit between a hit and its real
+    # partner and break the adjacent-pair check.
+    new = np.empty(len(hits), dtype=bool)
+    new[0] = True
+    new[1:] = (d[1:] != d[:-1]) | (q[1:] != q[:-1])
+    rep = np.cumsum(new) - 1
+    du = d[new]
+    qu = q[new]
+    same_prev = np.zeros(len(qu), dtype=bool)
+    same_next = np.zeros(len(qu), dtype=bool)
+    same_prev[1:] = (du[1:] == du[:-1]) & (qu[1:] - qu[:-1] <= window)
     same_next[:-1] = same_prev[1:]
-    keep = same_prev | same_next
+    keep = (same_prev | same_next)[rep]
     return hits.take(np.sort(order[keep]))
 
 

@@ -9,6 +9,11 @@ Commands
 ``search``
     Search a FASTA query against a FASTA database with serial BLAST,
     Orion, or the mpiBLAST baseline; tabular or pairwise output.
+``serve``
+    Run the query set through the always-on service: queries are admitted
+    concurrently and their (fragment × shard) tasks interleave on one
+    persistent worker pool (``--max-inflight``, ``--queue-depth``,
+    ``--breaker-*`` tune overload behaviour).
 ``overlap``
     Print the Eq.-1 fragment overlap for a query/database size pairing.
 ``experiment``
@@ -163,6 +168,68 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import OrionService, ServiceConfig
+
+    db = Database(read_fasta(args.db), name="db")
+    queries = read_fasta(args.query)
+    if not queries:
+        print("error: query file contains no sequences", file=sys.stderr)
+        return 2
+    search = OrionSearch(
+        database=db,
+        params=_params_from(args),
+        num_shards=args.shards,
+        fragment_length=args.fragment_length,
+        strands=args.strands,
+        executor=args.executor,
+        num_workers=args.workers,
+        shuffle=args.shuffle,
+        shared_db=args.shared_db,
+        retries=args.retries,
+    )
+    config = ServiceConfig(
+        max_inflight=args.max_inflight,
+        queue_depth=args.queue_depth,
+        breaker_failures=args.breaker_failures,
+        breaker_reset_seconds=args.breaker_reset_seconds,
+        breaker_probes=args.breaker_probes,
+    )
+
+    service = OrionService(search, config)
+
+    async def run_set() -> List:
+        async with service:
+            # Client-side backpressure: at most queue_depth submissions
+            # outstanding, so admission never sheds this batch workload.
+            gate = asyncio.Semaphore(config.queue_depth)
+
+            async def one(query):
+                async with gate:
+                    return await service.submit(query)
+
+            return await asyncio.gather(*(one(q) for q in queries))
+
+    results = asyncio.run(run_set())
+    for query, result in zip(queries, results):
+        alignments = result.alignments
+        if args.max_alignments:
+            alignments = alignments[: args.max_alignments]
+        print(format_tabular(alignments))
+    stats = service.stats
+    print(
+        f"served {stats.completed} queries "
+        f"(max_inflight={config.max_inflight}, queue_depth={config.queue_depth}); "
+        f"latency p50 {stats.p50:.3f}s p99 {stats.p99:.3f}s; "
+        f"shed {stats.rejected} (queue {stats.rejected_queue_full}, "
+        f"breaker {stats.rejected_circuit_open}); failed {stats.failed}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_overlap(args: argparse.Namespace) -> int:
     params = BlastParams()
     engine = BlastEngine(params)
@@ -254,12 +321,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--shuffle",
         choices=SHUFFLE_KINDS,
-        default="barrier",
-        help="shuffle mode for --executor processes: barrier (default; "
-        "driver-side repartition after all maps finish) or streaming "
-        "(map tasks spill partitioned runs to shared memory and reduce "
-        "tasks start as soon as their inputs commit); results are "
-        "identical either way",
+        default="streaming",
+        help="shuffle mode for --executor processes: streaming (default; "
+        "map tasks spill partitioned runs to shared memory and reduce "
+        "tasks start as soon as their inputs commit) or barrier (debug "
+        "path; driver-side repartition after all maps finish); results "
+        "are identical either way",
     )
     p.add_argument(
         "--shared-db",
@@ -309,6 +376,76 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dust", action="store_true", help="mask low-complexity query regions")
     p.add_argument("--max-alignments", type=int, default=None)
     p.set_defaults(func=_cmd_search)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve a query set through the always-on service "
+        "(concurrent admission over one persistent worker pool)",
+    )
+    p.add_argument("--db", required=True)
+    p.add_argument("--query", required=True, help="FASTA of queries to serve")
+    p.add_argument("--shards", type=int, default=8)
+    p.add_argument("--fragment-length", type=int, default=None)
+    p.add_argument("--strands", choices=("plus", "both"), default="plus")
+    p.add_argument(
+        "--executor",
+        choices=EXECUTOR_KINDS,
+        default="processes",
+        help="MapReduce backend (default: processes — the service exists "
+        "to keep one process pool busy across queries)",
+    )
+    p.add_argument("--workers", type=int, default=None, help="worker pool size")
+    p.add_argument(
+        "--shuffle",
+        choices=SHUFFLE_KINDS,
+        default="streaming",
+        help="shuffle mode (streaming default; reduce slowstart is what "
+        "lets one query's reduces overlap the next query's maps)",
+    )
+    p.add_argument(
+        "--shared-db", action=argparse.BooleanOptionalAction, default=None,
+        help="shared-memory database plane (default: auto)",
+    )
+    p.add_argument("--retries", type=int, default=3, help="attempt budget per task")
+    p.add_argument(
+        "--max-inflight",
+        type=int,
+        default=4,
+        help="queries executing concurrently (threads feeding the shared "
+        "pool; default: 4)",
+    )
+    p.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        help="bounded admission queue; a full queue sheds new submissions "
+        "with a typed error instead of blocking (default: 16)",
+    )
+    p.add_argument(
+        "--breaker-failures",
+        type=int,
+        default=5,
+        help="consecutive failures that open the circuit breaker (default: 5)",
+    )
+    p.add_argument(
+        "--breaker-reset-seconds",
+        type=float,
+        default=30.0,
+        help="seconds an open breaker waits before half-open probes "
+        "(default: 30)",
+    )
+    p.add_argument(
+        "--breaker-probes",
+        type=int,
+        default=1,
+        help="concurrent probe queries admitted while half-open (default: 1)",
+    )
+    p.add_argument("--evalue", type=float, default=None)
+    p.add_argument("--task", choices=("blastn", "megablast"), default="blastn")
+    p.add_argument("--two-hit", action="store_true", help="two-hit seeding (window 40)")
+    p.add_argument("--dust", action="store_true", help="mask low-complexity query regions")
+    p.add_argument("--max-alignments", type=int, default=None)
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("overlap", help="print the Eq.-1 fragment overlap")
     p.add_argument("--query-length", type=int, required=True)

@@ -12,7 +12,9 @@ are small and uniform — the source of Orion's parallelism and load balance.
 from __future__ import annotations
 
 import hashlib
+import threading
 import warnings
+from collections import Counter
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -42,7 +44,7 @@ from repro.mapreduce.runtime import (
     WorkerPool,
     resolve_executor,
 )
-from repro.mapreduce.types import InputSplit, TaskKind
+from repro.mapreduce.types import InputSplit, JobResult, TaskKind
 from repro.mpiblast.formatdb import DatabaseShard, shard_database
 from repro.sequence.alphabet import reverse_complement
 from repro.sequence.records import Database, SequenceRecord
@@ -92,6 +94,26 @@ class _ReduceStats:
     """
 
     stats: AggregationStats
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """Everything needed to execute one query, minus the executor.
+
+    Built by :meth:`OrionSearch.prepare`; ``executor.run(job, splits)``
+    produces the raw job result that :meth:`OrionSearch.assemble` turns
+    into an :class:`~repro.core.results.OrionResult`. Decoupling the plan
+    from execution is what lets the always-on service admit many queries'
+    map tasks into one shared worker pool.
+    """
+
+    query: SequenceRecord
+    space: SearchSpace
+    overlap: int
+    fragment_length: int
+    fragments: List[QueryFragment]
+    job: MapReduceJob
+    splits: List[InputSplit]
 
 
 class _OrionMapper:
@@ -210,12 +232,14 @@ class OrionSearch:
         Pool size for the ``"threads"``/``"processes"`` executors
         (``None`` = backend default: 4 threads, or one process per core).
     shuffle:
-        Shuffle mode for process-backed executors: ``"barrier"`` (default)
-        or ``"streaming"`` (map tasks spill partitioned runs to shared
-        memory and reduce tasks slow-start as their inputs commit — see
-        :class:`repro.mapreduce.runtime.ShuffleService`). Alignments are
-        identical either way (property-tested); in-process backends have
-        no cross-process movement to stream and ignore it.
+        Shuffle mode for process-backed executors: ``"streaming"``
+        (default — map tasks spill partitioned runs to shared memory and
+        reduce tasks slow-start as their inputs commit, see
+        :class:`repro.mapreduce.runtime.ShuffleService`) or ``"barrier"``
+        (driver-side repartition after all maps finish; the simpler debug
+        path). Alignments are identical either way (property-tested);
+        in-process backends have no cross-process movement to stream and
+        ignore it.
     shared_db:
         Ship the database to process workers through a shared-memory data
         plane (2-bit codes + prebuilt k-mer indexes, one copy per machine,
@@ -277,7 +301,7 @@ class OrionSearch:
         use_streaming: bool = False,
         executor: Union[str, Executor, None] = "serial",
         num_workers: Optional[int] = None,
-        shuffle: str = "barrier",
+        shuffle: str = "streaming",
         shared_db: Optional[bool] = None,
         reuse_pool: bool = True,
         retries: int = 3,
@@ -330,6 +354,10 @@ class OrionSearch:
         )
         self.shared_db = shared_db
         self.reuse_pool = bool(reuse_pool)
+        # Guards lazy creation of the worker pool and the shared plane:
+        # the always-on service calls run() from one thread per in-flight
+        # query, and exactly one pool/plane must ever exist per search.
+        self._setup_lock = threading.Lock()
         self._pool: Optional[WorkerPool] = None
         self._plane: Optional[shm_mod.SharedDatabasePlane] = None
         self._shm_handle: Optional[shm_mod.SharedDatabaseHandle] = None
@@ -402,41 +430,72 @@ class OrionSearch:
         return True
 
     def _ensure_plane(self) -> None:
-        """Create the shared database plane on first (process-backed) use."""
+        """Create the shared database plane on first (process-backed) use.
+
+        Thread-safe: concurrent :meth:`run` calls race to first use and
+        exactly one plane may exist (a loser's duplicate would leak its
+        shared-memory segments).
+        """
         if self._plane is not None or not self._shared_db_enabled():
             return
-        try:
-            self._plane = shm_mod.SharedDatabasePlane.create(
-                self.database, self.params.k
-            )
-        except (OSError, shm_mod.SharedMemoryUnavailable) as exc:
-            warnings.warn(
-                f"could not build the shared database plane ({exc}); "
-                f"falling back to pickling the database per worker",
-                RuntimeWarning,
-                stacklevel=3,
-            )
-            self.shared_db = False
-            return
-        self._shm_handle = self._plane.handle
+        with self._setup_lock:
+            if self._plane is not None or not self._shared_db_enabled():
+                return
+            try:
+                plane = shm_mod.SharedDatabasePlane.create(
+                    self.database, self.params.k
+                )
+            except (OSError, shm_mod.SharedMemoryUnavailable) as exc:
+                warnings.warn(
+                    f"could not build the shared database plane ({exc}); "
+                    f"falling back to pickling the database per worker",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                self.shared_db = False
+                return
+            self._shm_handle = plane.handle
+            self._plane = plane
+
+    def warmup(self) -> None:
+        """Eagerly build what ``run`` would build lazily (thread-safety).
+
+        For a process-backed search with a persistent pool this publishes
+        the shared database plane and starts every worker process *now*.
+        Lazy creation is fine single-threaded, but a concurrent driver
+        (the service) would otherwise fork the first workers while sibling
+        query threads are mid-flight — and forking a multi-threaded
+        process can hand the child a lock another thread held at that
+        instant, deadlocking it. :meth:`OrionService.start` calls this
+        from its quiescent startup moment. No-op for non-process
+        executors and for ``reuse_pool=False`` (whose per-run pools
+        cannot be prewarmed).
+        """
+        if isinstance(self.executor, ProcessExecutor):
+            self._ensure_plane()
+            prewarm = getattr(self._mr_executor(), "prewarm", None)
+            if callable(prewarm):
+                prewarm()
 
     def _mr_executor(self) -> Executor:
         """The executor jobs actually run on.
 
         A process-backed configuration with ``reuse_pool`` gets one
-        persistent :class:`WorkerPool` (created lazily, shut down by
+        persistent :class:`WorkerPool` (created lazily under the setup
+        lock — concurrent queries share one pool — and shut down by
         :meth:`close`); everything else uses the configured executor as-is.
         """
         if self.reuse_pool and isinstance(self.executor, ProcessExecutor):
-            if self._pool is None:
-                self._pool = WorkerPool(
-                    max_workers=self.executor.max_workers,
-                    start_method=self.executor.start_method,
-                    shuffle=self.executor.shuffle,
-                    retry=self.executor.retry,
-                    injector=self.executor.injector,
-                )
-            return self._pool
+            with self._setup_lock:
+                if self._pool is None:
+                    self._pool = WorkerPool(
+                        max_workers=self.executor.max_workers,
+                        start_method=self.executor.start_method,
+                        shuffle=self.executor.shuffle,
+                        retry=self.executor.retry,
+                        injector=self.executor.injector,
+                    )
+                return self._pool
         return self.executor
 
     def __getstate__(self):
@@ -449,6 +508,7 @@ class OrionSearch:
         state["_pool"] = None
         state["_plane"] = None
         state["_db_view"] = None
+        state["_setup_lock"] = None  # locks don't pickle; workers get a fresh one
         if self._shm_handle is not None:
             state["database"] = None
             state["shards"] = None
@@ -456,6 +516,8 @@ class OrionSearch:
 
     def __setstate__(self, state):
         self.__dict__.update(state)
+        if self._setup_lock is None:
+            self._setup_lock = threading.Lock()
         if self.executor is None:
             self.executor = SerialExecutor()
         if self.database is None and self._shm_handle is not None:
@@ -471,11 +533,12 @@ class OrionSearch:
         The next :meth:`run` transparently rebuilds both; use the search as
         a context manager for prompt cleanup in many-query scripts.
         """
-        pool, self._pool = self._pool, None
+        with self._setup_lock:
+            pool, self._pool = self._pool, None
+            plane, self._plane = self._plane, None
+            self._shm_handle = None
         if pool is not None:
             pool.shutdown()
-        plane, self._plane = self._plane, None
-        self._shm_handle = None
         if plane is not None:
             plane.release()
 
@@ -580,21 +643,25 @@ class OrionSearch:
 
     # ------------------------------------------------------------------ #
 
-    def run(
+    def prepare(
         self,
         query: SequenceRecord,
-        cluster: Optional[ClusterSpec] = None,
         fragment_length: Optional[int] = None,
-    ) -> OrionResult:
-        """Search one query; optionally simulate the schedule on a cluster."""
+    ) -> "QueryPlan":
+        """Plan one query: fragments, the MapReduce job, and its splits.
+
+        Pure with respect to execution — no tasks run, no pool or plane is
+        touched — so the always-on service can plan admissions cheaply and
+        submit the resulting job whenever capacity allows. Feed the plan to
+        an executor (``executor.run(plan.job, plan.splits)``) and hand the
+        raw job result to :meth:`assemble`; :meth:`run` is exactly that
+        composition.
+        """
         overlap, space = self.overlap_for_query(query)
         frag_len = self._resolve_fragment_length(query, overlap, fragment_length)
         if frag_len <= overlap:
             frag_len = overlap + max(1, overlap)
         fragments = fragment_query(query, frag_len, overlap)
-
-        self._ensure_plane()
-        executor = self._mr_executor()
         job = MapReduceJob(
             mapper=_OrionMapper(self, query, space),
             reducer=_OrionReducer(self, query, space),
@@ -610,10 +677,34 @@ class OrionSearch:
                 (f, s) for f in fragments for s in self.shards
             )
         ]
-        mr_wall = Stopwatch().start()
-        mr = executor.run(job, splits)
-        mapreduce_wall = mr_wall.stop()
+        return QueryPlan(
+            query=query,
+            space=space,
+            overlap=overlap,
+            fragment_length=frag_len,
+            fragments=fragments,
+            job=job,
+            splits=splits,
+        )
 
+    def assemble(
+        self,
+        plan: "QueryPlan",
+        mr: JobResult,
+        mapreduce_wall: float,
+        executor: Optional[Executor] = None,
+        cluster: Optional[ClusterSpec] = None,
+    ) -> OrionResult:
+        """Turn a plan's raw MapReduce output into an :class:`OrionResult`.
+
+        The second half of :meth:`run`: filters the aggregation-stats
+        sentinels out of the reduce stream, sample-sorts the alignments into
+        report order (on ``executor``, defaulting to serial), and attaches
+        work-unit records with hardware factors. Deterministic given the
+        same plan and job result, so a service thread may assemble one
+        query's result while another query's tasks are still in flight.
+        """
+        query = plan.query
         agg_stats = AggregationStats()
         aggregated: List[Alignment] = []
         for item in mr.flat_outputs():
@@ -629,7 +720,7 @@ class OrionSearch:
         # Work-unit records with hardware factors (fragment-length keyed).
         map_recs = mr.map_records()
         records: List[WorkUnitRecord] = []
-        for split, rec in zip(splits, map_recs):
+        for split, rec in zip(plan.splits, map_recs):
             fragment, shard_index = split.payload
             shard = self.shards[shard_index]
             unit = WorkUnit(
@@ -663,9 +754,9 @@ class OrionSearch:
             map_records=records,
             reduce_seconds=reduce_seconds,
             sort_seconds=sort_seconds,
-            fragment_length=frag_len,
-            overlap=overlap,
-            num_fragments=len(fragments),
+            fragment_length=plan.fragment_length,
+            overlap=plan.overlap,
+            num_fragments=len(plan.fragments),
             num_shards=len(self.shards),
             merged_pairs=agg_stats.merged_pairs,
             dropped_partials=agg_stats.dropped_partials,
@@ -675,6 +766,30 @@ class OrionSearch:
         if cluster is not None:
             result.schedule = self.simulate(result, cluster)
         return result
+
+    def run(
+        self,
+        query: SequenceRecord,
+        cluster: Optional[ClusterSpec] = None,
+        fragment_length: Optional[int] = None,
+    ) -> OrionResult:
+        """Search one query; optionally simulate the schedule on a cluster.
+
+        ``prepare → execute → assemble``, decoupled so the always-on
+        service (:mod:`repro.service`) can interleave many queries' task
+        submissions on one shared :class:`WorkerPool` while keeping each
+        query's result byte-identical to calling :meth:`run` alone —
+        property-tested. Safe to call concurrently from multiple threads.
+        """
+        plan = self.prepare(query, fragment_length)
+        self._ensure_plane()
+        executor = self._mr_executor()
+        mr_wall = Stopwatch().start()
+        mr = executor.run(plan.job, plan.splits)
+        mapreduce_wall = mr_wall.stop()
+        return self.assemble(
+            plan, mr, mapreduce_wall, executor=executor, cluster=cluster
+        )
 
     def run_many(
         self,
@@ -693,7 +808,22 @@ class OrionSearch:
         shard-scoped k-mer caches warm, so per-query cost approaches pure
         search time after the first query. Call :meth:`close` (or use the
         search as a context manager) when the set is done.
+
+        Query ``seq_id``\\ s must be unique: results are keyed by id, so a
+        collision would silently keep only the last query's result. Sets
+        with duplicate ids are rejected up front with a :class:`ValueError`
+        naming the colliding ids (the always-on service path,
+        :mod:`repro.service`, has no such constraint — every submission
+        gets its own result object).
         """
+        counts = Counter(q.seq_id for q in queries)
+        duplicates = sorted(seq_id for seq_id, n in counts.items() if n > 1)
+        if duplicates:
+            raise ValueError(
+                f"duplicate query seq_ids in run_many: {duplicates}; results "
+                f"are keyed by seq_id, so duplicates would be silently "
+                f"dropped — rename the queries or submit them individually"
+            )
         results = {q.seq_id: self.run(q, cluster=None) for q in queries}
         if cluster is not None:
             for res in results.values():

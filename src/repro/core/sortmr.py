@@ -70,7 +70,7 @@ def parallel_sort_alignments(
     num_tasks: int = 4,
     seed=0,
     executor: Union[str, Executor, None] = None,
-    shuffle: str = "barrier",
+    shuffle: str = "streaming",
 ) -> Tuple[List[Alignment], List[float]]:
     """Sample-sort alignments into report order (ascending E-value).
 

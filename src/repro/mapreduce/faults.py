@@ -52,18 +52,30 @@ class TransientTaskError(RuntimeError):
 class TaskFailedError(RuntimeError):
     """One task exhausted every attempt the :class:`RetryPolicy` allows.
 
-    Carries the task's phase and index so fallback paths (and operators)
-    can see exactly which unit poisoned the job, and chains the last
-    attempt's exception as ``__cause__``.
+    Carries the task's phase and index — and, when the scheduler was
+    tagged with one, the owning job's id — so fallback paths (and
+    operators watching a multi-query service, where many jobs share one
+    pool) can see exactly which unit of which job poisoned it, and chains
+    the last attempt's exception as ``__cause__``.
     """
 
-    def __init__(self, phase: str, index: int, attempts: int, last_error: str):
+    def __init__(
+        self,
+        phase: str,
+        index: int,
+        attempts: int,
+        last_error: str,
+        job_id: Optional[str] = None,
+    ):
+        prefix = f"job {job_id!r}: " if job_id else ""
         super().__init__(
-            f"{phase} task {index} failed after {attempts} attempt(s): {last_error}"
+            f"{prefix}{phase} task {index} failed after {attempts} "
+            f"attempt(s): {last_error}"
         )
         self.phase = phase
         self.index = index
         self.attempts = attempts
+        self.job_id = job_id
 
 
 @dataclass(frozen=True)

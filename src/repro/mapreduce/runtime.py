@@ -20,15 +20,16 @@ Three executors with identical result semantics (DESIGN.md row 5's
   with a warning.
 
 Process-backed executors additionally choose between two shuffles. The
-default **barrier** shuffle collects every map output back into the driver,
-repartitions there, and only then dispatches reduce tasks. The **streaming**
-shuffle (``shuffle="streaming"``) is push-based: each map task partitions
-(and combines) its own output worker-side, spills per-partition pickled
-runs into a shared-memory segment (inline fallback when shm is
-unavailable), and the driver consumes completions as they land so reduce
-task *p* launches the moment every map task has committed its partition-*p*
-run — Hadoop's reduce slowstart, instead of a barrier plus a driver-side
-serial shuffle. See :class:`ShuffleService`.
+default **streaming** shuffle is push-based: each map task partitions (and
+combines) its own output worker-side, spills per-partition pickled runs
+into a shared-memory segment (inline fallback when shm is unavailable),
+and the driver consumes completions as they land so reduce task *p*
+launches the moment every map task has committed its partition-*p* run —
+Hadoop's reduce slowstart. See :class:`ShuffleService`. The **barrier**
+shuffle (``shuffle="barrier"``) collects every map output back into the
+driver, repartitions there, and only then dispatches reduce tasks; it is
+kept as the simpler debug path and as the driver-side reference the
+streaming shuffle is property-tested against.
 
 Process-backed executors are fault tolerant (DESIGN.md §4.6): every map and
 reduce task runs as a sequence of *attempts* under a
@@ -61,6 +62,7 @@ import hashlib
 import multiprocessing
 import os
 import pickle
+import threading
 import warnings
 from collections import OrderedDict
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
@@ -78,8 +80,9 @@ from repro.util.timers import Stopwatch
 EXECUTOR_KINDS = ("serial", "threads", "processes")
 
 #: The shuffle modes process-backed executors (and the CLI) accept.
-#: ``barrier`` stays the default: it keeps the serial path byte-for-byte
-#: unchanged, which is what simulator-safe measurement runs use.
+#: ``streaming`` is the default — it wins on dispatch share (see
+#: ``benchmarks/bench_executors.py``) and produces byte-identical results;
+#: ``barrier`` remains the documented debug/reference path.
 SHUFFLE_KINDS = ("barrier", "streaming")
 
 
@@ -587,7 +590,7 @@ def _run_barrier_schedule(
     partition index, so retries and speculative duplicates cannot reorder
     anything.
     """
-    sched = TaskScheduler(policy, respawn=respawn)
+    sched = TaskScheduler(policy, respawn=respawn, job_id=job.name)
     for split in splits:
         sched.add("map", split.index, lambda a, s=split: submit_map(s, a))
     sched.run()
@@ -599,7 +602,7 @@ def _run_barrier_schedule(
         records.append(_stamp_meta(rec, sched.meta("map", split.index)))
 
     partitions = job.shuffle(map_outputs)
-    sched = TaskScheduler(policy, respawn=respawn)
+    sched = TaskScheduler(policy, respawn=respawn, job_id=job.name)
     for p, groups in enumerate(partitions):
         sched.add("reduce", p, lambda a, p=p, g=groups: submit_reduce(p, g, a))
     sched.run()
@@ -641,7 +644,9 @@ def _run_streaming_schedule(
         if phase == "map":
             service.sweep_attempt(index, attempt)
 
-    sched = TaskScheduler(policy, respawn=respawn, on_attempt_dead=attempt_dead)
+    sched = TaskScheduler(
+        policy, respawn=respawn, on_attempt_dead=attempt_dead, job_id=job.name
+    )
 
     def on_map_complete(phase: str, index: int, value: Any) -> None:
         if phase != "map":
@@ -705,7 +710,7 @@ class ProcessExecutor:
         Optional multiprocessing start method (``"fork"``, ``"spawn"``,
         ``"forkserver"``); ``None`` uses the platform default.
     shuffle:
-        ``"barrier"`` (default) or ``"streaming"`` — see the module
+        ``"streaming"`` (default) or ``"barrier"`` — see the module
         docstring and :class:`ShuffleService`.
     retry:
         The :class:`~repro.mapreduce.faults.RetryPolicy` in force;
@@ -723,7 +728,7 @@ class ProcessExecutor:
         self,
         max_workers: Optional[int] = None,
         start_method: Optional[str] = None,
-        shuffle: str = "barrier",
+        shuffle: str = "streaming",
         retry: Optional[RetryPolicy] = None,
         injector: Optional[FaultInjector] = None,
     ) -> None:
@@ -962,6 +967,11 @@ def _pool_streaming_reduce_task(
     )
 
 
+def _prewarm_noop() -> None:
+    """Worker-side no-op: forces a lazy pool's machinery to start."""
+    return None
+
+
 class WorkerPool:
     """A persistent process pool reused across MapReduce jobs.
 
@@ -985,6 +995,20 @@ class WorkerPool:
     fresh. Call :meth:`shutdown` (or use the pool as a context manager)
     when done; an unclosed pool's workers are reclaimed at interpreter
     exit.
+
+    :meth:`run` may be called from several threads at once (the always-on
+    service drives one thread per in-flight query): every job's map and
+    reduce attempts are submitted into the *same* ``ProcessPoolExecutor``
+    queue, so one query's reduce tasks interleave with the next query's
+    map tasks and the pool never drains between queries. Each concurrent
+    job keeps its own :class:`~repro.mapreduce.scheduler.TaskScheduler`,
+    spill set and result assembly, so outputs stay byte-identical to
+    running the jobs one at a time. Cross-job coordination is confined to
+    the pool handle itself: creation is locked, a worker crash (which
+    breaks the shared pool for *every* job) is respawned exactly once no
+    matter how many jobs observe it, and a job that falls back to serial
+    only discards the shared pool when the pool is actually broken —
+    never out from under a healthy concurrent job.
     """
 
     kind = "processes"
@@ -993,7 +1017,7 @@ class WorkerPool:
         self,
         max_workers: Optional[int] = None,
         start_method: Optional[str] = None,
-        shuffle: str = "barrier",
+        shuffle: str = "streaming",
         retry: Optional[RetryPolicy] = None,
         injector: Optional[FaultInjector] = None,
     ) -> None:
@@ -1011,16 +1035,69 @@ class WorkerPool:
         self.retry = retry if retry is not None else RetryPolicy()
         self.injector = injector
         self._pool: Optional[ProcessPoolExecutor] = None
+        # Guards the pool handle (create/discard/respawn) across the
+        # concurrent run() threads of a multi-query service; never held
+        # while waiting on futures or workers.
+        self._lock = threading.Lock()
+        self._active_runs = 0
 
     # ------------------------------------------------------------------ #
 
+    @staticmethod
+    def _is_broken(pool: Optional[ProcessPoolExecutor]) -> bool:
+        """Whether a pool can never run another task (worker crash).
+
+        ``ProcessPoolExecutor`` exposes no public probe; ``_broken`` has
+        carried the broken state since 3.7. If the attribute ever
+        disappears we assume *broken*, degrading to the old conservative
+        always-respawn behaviour rather than ever skipping a needed
+        respawn.
+        """
+        return pool is None or bool(getattr(pool, "_broken", True))
+
     def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            ctx = multiprocessing.get_context(self.start_method)
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.max_workers, mp_context=ctx
-            )
-        return self._pool
+        with self._lock:
+            if self._pool is None:
+                ctx = multiprocessing.get_context(self.start_method)
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers, mp_context=ctx
+                )
+            return self._pool
+
+    def prewarm(self) -> None:
+        """Start every worker process now, not at first submit.
+
+        ``ProcessPoolExecutor`` spawns workers lazily as tasks arrive. Under
+        a multi-threaded driver (the service: several queries running
+        ``run`` on sibling threads) the first submits therefore fork while
+        other threads are mid-flight — and a fork of a multi-threaded
+        process can inherit a lock some other thread held at that instant
+        (resource tracker, allocator), deadlocking the child before it ever
+        picks up a task. Call this from a quiescent moment — before the
+        pool is shared across threads — so every worker is born while no
+        sibling thread is running. (A post-crash respawn still starts
+        workers lazily; that path only follows a worker loss.)
+
+        Best-effort: it leans on ``_spawn_process``/``_processes`` (stable
+        since 3.9, same vintage as the ``_broken`` probe above) and simply
+        stays lazy if a future CPython moves them.
+        """
+        pool = self._ensure_pool()
+        spawn = getattr(pool, "_spawn_process", None)
+        processes = getattr(pool, "_processes", None)
+        if spawn is None or processes is None:  # pragma: no cover
+            return
+        while len(processes) < self.max_workers:
+            spawn()
+        # The manager thread normally starts at first submit; it is also
+        # what delivers exit sentinels to the workers on shutdown. Start
+        # it now, or a prewarmed-but-never-used pool would orphan its
+        # workers (blocked on the call queue forever) and hang exit.
+        start_manager = getattr(pool, "_start_executor_manager_thread", None)
+        if start_manager is not None:
+            start_manager()
+        else:  # pragma: no cover - internals moved: reach it via submit
+            pool.submit(_prewarm_noop).result()
 
     def _publish_job(
         self, job_bytes: bytes
@@ -1056,29 +1133,46 @@ class WorkerPool:
             # Nothing to parallelize — don't pay pool startup.
             return SerialExecutor().run(job, splits)
         ref, seg = self._publish_job(job_bytes)
+        with self._lock:
+            self._active_runs += 1
         try:
             return self._run_pool(job, ref, splits)
         except Exception as exc:
             # The scheduler already retried and respawned; reaching here
             # means a task exhausted its budget (or hit an unretryable
             # error). Discard whatever pool is left so the next run starts
-            # fresh, and rerun serially — that either succeeds or raises
-            # with this genuine task error chained.
-            self._discard_pool()
+            # fresh — unless healthy concurrent jobs are still running on
+            # it, in which case only an actually-broken pool is discarded
+            # (shutting a live pool down would cancel their queued
+            # attempts). Then rerun serially — that either succeeds or
+            # raises with this genuine task error chained.
+            with self._lock:
+                alone = self._active_runs == 1
+            self._discard_pool(only_if_broken=not alone)
             return _serial_fallback(
                 "WorkerPool", job, splits,
                 f"process pool failed ({type(exc).__name__}: {exc})",
                 cause=exc,
             )
         finally:
+            with self._lock:
+                self._active_runs -= 1
             if seg is not None:
                 # Workers that loaded the job keep their copy; the blob
                 # segment itself must not outlive the run.
                 shm_mod.destroy_segment(seg)
 
     def _respawn(self) -> None:
-        """Replace a broken pool in place (the scheduler's respawn hook)."""
-        self._discard_pool()
+        """Replace a broken pool in place (the scheduler's respawn hook).
+
+        A worker crash breaks the shared pool for every concurrent job,
+        so every job's scheduler calls here — the broken check makes the
+        replacement happen exactly once: whichever scheduler arrives
+        first swaps in a fresh pool, the rest see a healthy pool and
+        leave it alone (their lost attempts are already queued for retry
+        and will resubmit through :meth:`_ensure_pool`).
+        """
+        self._discard_pool(only_if_broken=True)
         self._ensure_pool()
 
     def _run_pool(
@@ -1115,14 +1209,20 @@ class WorkerPool:
 
     # ------------------------------------------------------------------ #
 
-    def _discard_pool(self) -> None:
-        pool, self._pool = self._pool, None
-        if pool is not None:
-            pool.shutdown(wait=False, cancel_futures=True)
+    def _discard_pool(self, only_if_broken: bool = False) -> None:
+        with self._lock:
+            pool = self._pool
+            if pool is None:
+                return
+            if only_if_broken and not self._is_broken(pool):
+                return
+            self._pool = None
+        pool.shutdown(wait=False, cancel_futures=True)
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop the workers (idempotent); the next :meth:`run` would rebuild."""
-        pool, self._pool = self._pool, None
+        with self._lock:
+            pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=wait)
 
@@ -1152,7 +1252,7 @@ class WorkerPool:
 def resolve_executor(
     spec: Union[str, Executor, None],
     max_workers: Optional[int] = None,
-    shuffle: str = "barrier",
+    shuffle: str = "streaming",
     retry: Optional[RetryPolicy] = None,
     injector: Optional[FaultInjector] = None,
 ) -> Executor:

@@ -131,6 +131,15 @@ class TaskScheduler:
         streaming shuffle sweeps that attempt's spill segment here.
     clock:
         Injectable monotonic clock (tests drive deadlines without waiting).
+    job_id:
+        Optional owning-job tag. Several schedulers may drive jobs over
+        *one* shared worker pool concurrently (the always-on service path:
+        each query's job gets its own scheduler, their task attempts
+        interleave in the pool's queue); the tag is stamped onto every
+        :class:`~repro.mapreduce.faults.TaskFailedError` this scheduler
+        raises so failures stay attributable per job. Commits need no tag
+        to route: each future is owned by exactly one scheduler, so
+        results come back to the job that submitted them by construction.
     """
 
     def __init__(
@@ -139,8 +148,10 @@ class TaskScheduler:
         respawn: Optional[Callable[[], None]] = None,
         on_attempt_dead: Optional[Callable[[str, int, int], None]] = None,
         clock: Callable[[], float] = time.monotonic,
+        job_id: Optional[str] = None,
     ) -> None:
         self.policy = policy
+        self.job_id = job_id
         self._respawn = respawn
         self._on_attempt_dead = on_attempt_dead
         self._clock = clock
@@ -271,6 +282,7 @@ class TaskScheduler:
                 state.index,
                 state.attempts_launched,
                 repr(state.last_error),
+                job_id=self.job_id,
             ) from state.last_error
         token = f"{state.phase}/{state.index}"
         due = now + self.policy.backoff_seconds(state.attempts_launched + 1, token)
@@ -299,6 +311,7 @@ class TaskScheduler:
                     state.index,
                     state.attempts_launched,
                     repr(state.last_error),
+                    job_id=self.job_id,
                 ) from state.last_error
         raise AssertionError("unresolved count drifted")  # pragma: no cover
 
@@ -317,7 +330,19 @@ class TaskScheduler:
         try:
             value = fut.result(timeout=0)
         except CancelledError:
+            # Cancelled duplicates of a resolved task are expected; a
+            # cancelled attempt of an *unresolved* task (a concurrent
+            # job's respawn swept the shared pool's queue) must requeue,
+            # or the task would sit attempt-less until misreported as
+            # budget-exhausted.
             self._attempt_dead(state, attempt)
+            if not state.resolved:
+                if state.last_error is None:
+                    state.last_error = CancelledError(
+                        f"{state.phase} task {state.index} attempt "
+                        f"{attempt.number} was cancelled before running"
+                    )
+                self._queue_retry(state, self._clock())
             return
         except BrokenExecutor as exc:
             # The attempt was lost with the pool, not failed by the task;

@@ -2,11 +2,14 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.blast.engine import BlastEngine
 from repro.blast.hsp import SeedHits
+from repro.blast.lookup import QueryIndex
 from repro.blast.params import BlastParams
-from repro.blast.seeds import two_hit_filter
+from repro.blast.seeds import find_seeds, two_hit_filter
 from repro.sequence.alphabet import random_bases
 from repro.sequence.records import Database, SequenceRecord
 
@@ -50,6 +53,65 @@ class TestTwoHitFilter:
 
     def test_empty(self):
         assert len(two_hit_filter(hits_from([]), 40)) == 0
+
+
+def _brute_force_two_hit(pairs, window):
+    """The documented contract, literally: a hit survives iff another
+    *non-identical* hit sits on its diagonal within ``window`` (0 < Δq)."""
+    return [
+        (q, s)
+        for q, s in pairs
+        if any(
+            s2 - q2 == s - q and 0 < abs(q2 - q) <= window for q2, s2 in pairs
+        )
+    ]
+
+
+class TestTwoHitDuplicates:
+    """Unthinned hit sets may carry exact duplicates; a zero-distance copy
+    is the same hit, never a pairing partner (the Δq = 0 regression)."""
+
+    def test_zero_distance_duplicate_is_not_a_partner(self):
+        hits = hits_from([(100, 500), (100, 500)])
+        assert len(two_hit_filter(hits, 40)) == 0
+
+    def test_duplicate_does_not_mask_real_partner(self):
+        # Sorted by (diagonal, q) the duplicate sits between the hit and
+        # its genuine partner; every copy must inherit the real verdict.
+        hits = hits_from([(100, 500), (100, 500), (130, 530)])
+        out = two_hit_filter(hits, 40)
+        assert sorted(out.q_pos.tolist()) == [100, 100, 130]
+
+    @given(
+        pairs=st.lists(
+            st.tuples(st.integers(0, 60), st.integers(0, 6)).map(
+                lambda t: (t[0], t[0] + t[1])
+            ),
+            max_size=40,
+        ),
+        window=st.integers(1, 50),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_brute_force_on_arbitrary_hit_sets(self, pairs, window):
+        """Small value pools force heavy duplicate/collision cases."""
+        out = two_hit_filter(hits_from(pairs), window)
+        kept = sorted(zip(out.q_pos.tolist(), out.s_pos.tolist()))
+        assert kept == sorted(_brute_force_two_hit(pairs, window))
+
+    @given(seed=st.integers(0, 31), window=st.integers(5, 60))
+    @settings(max_examples=30, deadline=None)
+    def test_unthinned_seeds_match_brute_force(self, seed, window):
+        """``find_seeds(thin=False)`` feeding the filter: the raw lookup
+        stream honours the same non-identical pairing contract."""
+        rng = np.random.default_rng(seed)
+        shared = random_bases(rng, 60)
+        q_codes = np.concatenate([random_bases(rng, 300), shared])
+        s_codes = np.concatenate([shared, random_bases(rng, 300)])
+        hits = find_seeds(QueryIndex(q_codes, 8), s_codes, thin=False)
+        pairs = list(zip(hits.q_pos.tolist(), hits.s_pos.tolist()))
+        out = two_hit_filter(hits, window)
+        kept = sorted(zip(out.q_pos.tolist(), out.s_pos.tolist()))
+        assert kept == sorted(_brute_force_two_hit(pairs, window))
 
 
 class TestTwoHitInEngine:

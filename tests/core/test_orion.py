@@ -127,6 +127,19 @@ class TestRunMany:
         combined = orion.simulate_query_set(list(results.values()), ClusterSpec(nodes=2, cores_per_node=2))
         assert combined.makespan > 0
 
+    def test_duplicate_seq_ids_rejected(self, orion, small_db, query_with_truth):
+        """Results are keyed by seq_id — a silent dict collision used to
+        drop all but the last duplicate; now the set is rejected up front,
+        naming the colliding ids."""
+        query, _ = query_with_truth
+        twin = small_db.records[2].slice(0, 2500, seq_id=query.seq_id)
+        other = small_db.records[1].slice(0, 2500, seq_id="q2")
+        with pytest.raises(ValueError) as exc:
+            orion.run_many([query, other, twin])
+        assert query.seq_id in str(exc.value)
+        assert "q2" not in str(exc.value)
+        assert "duplicate" in str(exc.value)
+
 
 class TestValidation:
     def test_bad_args(self, small_db):

@@ -354,7 +354,9 @@ class TestStreamingShuffle:
         assert sum(r.shuffle_bytes_out for r in stream.map_records()) > 0
 
     def test_barrier_leaves_shuffle_bytes_zero(self):
-        result = ProcessExecutor(max_workers=2).run(make_job(2), make_splits(4))
+        result = ProcessExecutor(max_workers=2, shuffle="barrier").run(
+            make_job(2), make_splits(4)
+        )
         assert all(r.shuffle_bytes_out == 0 for r in result.map_records())
         assert all(r.shuffle_bytes_in == 0 for r in result.reduce_records())
 
@@ -374,8 +376,8 @@ class TestResolveExecutor:
         assert set(EXECUTOR_KINDS) == {"serial", "threads", "processes"}
 
     def test_shuffle_passthrough(self):
-        assert resolve_executor("processes", 2).shuffle == "barrier"
-        assert resolve_executor("processes", 2, shuffle="streaming").shuffle == "streaming"
+        assert resolve_executor("processes", 2).shuffle == "streaming"
+        assert resolve_executor("processes", 2, shuffle="barrier").shuffle == "barrier"
         assert set(runtime_mod.SHUFFLE_KINDS) == {"barrier", "streaming"}
 
     def test_instance_passthrough(self):

@@ -214,9 +214,9 @@ class TestStreamingShuffleEquivalence:
         streaming = ProcessExecutor(
             max_workers=2, start_method=start_method, shuffle="streaming"
         ).run(_wc_job(with_combiner), _word_splits())
-        barrier = ProcessExecutor(max_workers=2, start_method=start_method).run(
-            _wc_job(with_combiner), _word_splits()
-        )
+        barrier = ProcessExecutor(
+            max_workers=2, start_method=start_method, shuffle="barrier"
+        ).run(_wc_job(with_combiner), _word_splits())
         assert streaming.outputs == barrier.outputs == serial.outputs
         assert streaming.shuffle_keys == serial.shuffle_keys
         assert all(r.executor == "processes" for r in streaming.records)
@@ -275,6 +275,37 @@ def test_orion_streaming_shuffle_equals_serial(tiny_db, tiny_query):
     assert streaming.executor_kind == "processes"
     assert streaming.merged_pairs == serial.merged_pairs
     assert streaming.dropped_partials == serial.dropped_partials
+    assert _orionspill_segments() - before == set()
+
+
+def test_orion_service_concurrent_equals_serial(tiny_db, tiny_query):
+    """The always-on service path: concurrent admissions interleaving on
+    one shared worker pool stay field-identical to the serial run, query
+    by query, and the drained shutdown sweeps every spill segment."""
+    import asyncio
+
+    from repro.service import OrionService, ServiceConfig
+
+    before = _orionspill_segments()
+    serial = run_orion(tiny_db, tiny_query, "serial")
+    search = OrionSearch(
+        database=tiny_db, num_shards=4, fragment_length=6000,
+        executor="processes", num_workers=2,
+    )
+    service = OrionService(search, ServiceConfig(max_inflight=3, queue_depth=8))
+
+    async def main():
+        async with service:
+            return await asyncio.gather(
+                *(service.submit(tiny_query) for _ in range(3))
+            )
+
+    results = asyncio.run(main())
+    assert len(results) == 3
+    for result in results:
+        assert canonical(result.alignments) == canonical(serial.alignments)
+        assert result.executor_kind == "processes"
+    assert service.stats.completed == 3
     assert _orionspill_segments() - before == set()
 
 

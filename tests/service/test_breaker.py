@@ -1,0 +1,146 @@
+"""Circuit breaker state machine, driven by a fake clock (no wall waits)."""
+
+import pytest
+
+from repro.service import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make(threshold=3, reset=30.0, probes=1):
+    clock = FakeClock()
+    breaker = CircuitBreaker(
+        failure_threshold=threshold,
+        reset_timeout=reset,
+        half_open_probes=probes,
+        clock=clock,
+    )
+    return breaker, clock
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self):
+        breaker, _ = make()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_failures_below_threshold_stay_closed(self):
+        breaker, _ = make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker, _ = make(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # never two *consecutive* failures
+
+    def test_threshold_failures_trip_open(self):
+        breaker, _ = make(threshold=3)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.times_opened == 1
+
+
+class TestOpen:
+    def test_stays_open_until_reset_timeout(self):
+        breaker, clock = make(threshold=1, reset=30.0)
+        breaker.record_failure()
+        clock.advance(29.9)
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_moves_to_half_open_after_timeout(self):
+        breaker, clock = make(threshold=1, reset=30.0)
+        breaker.record_failure()
+        clock.advance(30.0)
+        assert breaker.state == HALF_OPEN
+
+    def test_stale_outcomes_do_not_change_open(self):
+        """A straggler admitted before the trip settles late: recovery is
+        decided by half-open probes, not by stale wins or losses."""
+        breaker, clock = make(threshold=1, reset=30.0)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.times_opened == 1
+        clock.advance(15.0)
+        assert breaker.state == OPEN  # failure above did not restart the timer
+
+
+class TestHalfOpen:
+    def test_admits_limited_probes(self):
+        breaker, clock = make(threshold=1, reset=30.0, probes=1)
+        breaker.record_failure()
+        clock.advance(30.0)
+        assert breaker.allow()  # the probe slot
+        assert not breaker.allow()  # only one probe in flight
+
+    def test_multiple_probe_slots(self):
+        breaker, clock = make(threshold=1, reset=30.0, probes=2)
+        breaker.record_failure()
+        clock.advance(30.0)
+        assert breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow()
+
+    def test_probe_success_closes(self):
+        breaker, clock = make(threshold=1, reset=30.0)
+        breaker.record_failure()
+        clock.advance(30.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_and_restarts_the_timer(self):
+        breaker, clock = make(threshold=1, reset=30.0)
+        breaker.record_failure()
+        clock.advance(30.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.times_opened == 2
+        clock.advance(29.9)
+        assert breaker.state == OPEN  # full timeout again, from the re-trip
+        clock.advance(0.1)
+        assert breaker.state == HALF_OPEN
+
+    def test_full_cycle_closed_open_half_open_closed(self):
+        breaker, clock = make(threshold=2, reset=10.0)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(10.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        # and the failure counter restarted from zero
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout=0.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(half_open_probes=0)

@@ -1,0 +1,329 @@
+"""OrionService: overload shedding, breaker integration, equivalence, drain.
+
+No pytest-asyncio in the toolchain — each test drives its own event loop
+with ``asyncio.run``. Fake searches (mapping constructor path) make the
+shedding and breaker scenarios deterministic; the equivalence and shutdown
+tests run the real ``OrionSearch`` over a process pool.
+"""
+
+import asyncio
+import os
+import threading
+
+import pytest
+
+from repro.core.orion import OrionSearch
+from repro.sequence.generator import make_database
+from repro.service import (
+    CircuitOpenError,
+    OrionService,
+    QueueFullError,
+    ServiceClosedError,
+    ServiceConfig,
+    UnknownDatabaseError,
+)
+from tests.service.test_breaker import FakeClock
+
+
+def _canonical(alignments):
+    out = []
+    for a in alignments:
+        fields = dict(vars(a))
+        path = fields.pop("path", None)
+        fields["path"] = None if path is None else path.tobytes()
+        out.append(tuple(sorted(fields.items())))
+    return out
+
+
+def _orion_segments():
+    try:
+        return {n for n in os.listdir("/dev/shm") if n.startswith("orion")}
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
+
+
+class _FakeQuery:
+    seq_id = "fake"
+
+
+class _BlockingSearch:
+    """run() parks on an event — deterministic queue-occupancy control."""
+
+    def __init__(self):
+        self.started = threading.Event()
+        self.release = threading.Event()
+        self.runs = 0
+        self.closed = False
+
+    def run(self, query, fragment_length=None):
+        self.runs += 1
+        self.started.set()
+        assert self.release.wait(timeout=30), "test never released the search"
+        return ("ok", query.seq_id)
+
+    def close(self):
+        self.closed = True
+
+
+class _FlakySearch:
+    """Fails its first ``fail_first`` runs, then serves normally."""
+
+    def __init__(self, fail_first):
+        self.fail_first = fail_first
+        self.runs = 0
+        self.closed = False
+
+    def run(self, query, fragment_length=None):
+        self.runs += 1
+        if self.runs <= self.fail_first:
+            raise RuntimeError("backend exploded")
+        return ("ok", query.seq_id)
+
+    def close(self):
+        self.closed = True
+
+
+class TestOverloadShedding:
+    def test_full_queue_sheds_typed_error_without_blocking(self):
+        """A full queue rejects instantly with QueueFullError — the event
+        loop never blocks — and every *admitted* query still completes."""
+
+        async def main():
+            fake = _BlockingSearch()
+            config = ServiceConfig(max_inflight=1, queue_depth=1)
+            async with OrionService({"db": fake}, config) as service:
+                loop = asyncio.get_running_loop()
+                first = asyncio.create_task(service.submit(_FakeQuery(), database="db"))
+                # Let the single worker pull `first` off the queue.
+                await loop.run_in_executor(None, fake.started.wait, 10)
+                second = asyncio.create_task(service.submit(_FakeQuery(), database="db"))
+                await asyncio.sleep(0)  # run `second` up to its await: queue now full
+                with pytest.raises(QueueFullError):
+                    # wait_for bounds the test; the rejection must be immediate.
+                    await asyncio.wait_for(
+                        service.submit(_FakeQuery(), database="db"), timeout=5
+                    )
+                assert service.stats.rejected_queue_full == 1
+                fake.release.set()
+                results = await asyncio.gather(first, second)
+            assert [r[0] for r in results] == ["ok", "ok"]  # no admitted work shed
+            assert fake.runs == 2
+            assert fake.closed
+
+        asyncio.run(main())
+
+    def test_rejection_does_not_consume_breaker_probes(self):
+        """Queue-full shedding happens before the breaker is consulted, so
+        a shed query can never burn a half-open probe slot."""
+
+        async def main():
+            fake = _BlockingSearch()
+            config = ServiceConfig(max_inflight=1, queue_depth=1)
+            async with OrionService({"db": fake}, config) as service:
+                loop = asyncio.get_running_loop()
+                first = asyncio.create_task(service.submit(_FakeQuery(), database="db"))
+                await loop.run_in_executor(None, fake.started.wait, 10)
+                second = asyncio.create_task(service.submit(_FakeQuery(), database="db"))
+                await asyncio.sleep(0)
+                with pytest.raises(QueueFullError):
+                    await service.submit(_FakeQuery(), database="db")
+                assert service.breaker_for("db").state == "closed"
+                assert service.breaker_for("db").allow()  # untouched by the shed
+                fake.release.set()
+                await asyncio.gather(first, second)
+
+        asyncio.run(main())
+
+
+class TestBreakerIntegration:
+    def test_breaker_opens_sheds_and_recovers(self):
+        """The acceptance scenario: consecutive failures open the breaker,
+        load is shed with a typed error, and after the reset timeout a
+        probe success returns the service to serving."""
+
+        clock = FakeClock()
+        fake = _FlakySearch(fail_first=2)
+        config = ServiceConfig(
+            max_inflight=1,
+            queue_depth=4,
+            breaker_failures=2,
+            breaker_reset_seconds=30.0,
+        )
+
+        async def main():
+            async with OrionService({"db": fake}, config, clock=clock) as service:
+                for _ in range(2):
+                    with pytest.raises(RuntimeError, match="backend exploded"):
+                        await service.submit(_FakeQuery(), database="db")
+                assert service.breaker_for("db").state == "open"
+                with pytest.raises(CircuitOpenError):
+                    await service.submit(_FakeQuery(), database="db")
+                assert service.stats.rejected_circuit_open == 1
+                assert service.stats.failed == 2
+                clock.advance(30.0)
+                result = await service.submit(_FakeQuery(), database="db")  # probe
+                assert result[0] == "ok"
+                assert service.breaker_for("db").state == "closed"
+                result = await service.submit(_FakeQuery(), database="db")
+                assert result[0] == "ok"
+                assert service.stats.completed == 2
+
+        asyncio.run(main())
+
+    def test_probe_failure_reopens(self):
+        clock = FakeClock()
+        fake = _FlakySearch(fail_first=3)  # the probe fails too
+        config = ServiceConfig(
+            max_inflight=1,
+            queue_depth=4,
+            breaker_failures=2,
+            breaker_reset_seconds=30.0,
+        )
+
+        async def main():
+            async with OrionService({"db": fake}, config, clock=clock) as service:
+                for _ in range(2):
+                    with pytest.raises(RuntimeError):
+                        await service.submit(_FakeQuery(), database="db")
+                clock.advance(30.0)
+                with pytest.raises(RuntimeError):  # the failing probe
+                    await service.submit(_FakeQuery(), database="db")
+                assert service.breaker_for("db").state == "open"
+                with pytest.raises(CircuitOpenError):
+                    await service.submit(_FakeQuery(), database="db")
+                clock.advance(30.0)
+                result = await service.submit(_FakeQuery(), database="db")
+                assert result[0] == "ok"
+
+        asyncio.run(main())
+
+
+class TestAdmissionValidation:
+    def test_unknown_database_rejected(self):
+        async def main():
+            fake = _FlakySearch(fail_first=0)
+            async with OrionService({"db": fake}) as service:
+                with pytest.raises(UnknownDatabaseError):
+                    await service.submit(_FakeQuery(), database="nope")
+
+        asyncio.run(main())
+
+    def test_submit_after_close_raises(self):
+        async def main():
+            fake = _FlakySearch(fail_first=0)
+            service = OrionService({"db": fake})
+            async with service:
+                pass
+            assert service.state == "closed"
+            with pytest.raises(ServiceClosedError):
+                await service.submit(_FakeQuery(), database="db")
+            with pytest.raises(ServiceClosedError):
+                await service.start()  # a drained service cannot restart
+
+        asyncio.run(main())
+
+    def test_config_validated(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(max_inflight=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(queue_depth=0)
+        with pytest.raises(ValueError):
+            OrionService({})
+
+
+class TestServiceEquivalence:
+    """Concurrent, duplicate-heavy admission over one process pool must be
+    byte-identical to serial ``run()`` per query — and clean up /dev/shm."""
+
+    @pytest.fixture(scope="class")
+    def small_db(self):
+        return make_database(seed=217, num_sequences=6, mean_length=2500, name="svcdb")
+
+    @pytest.fixture(scope="class")
+    def queries(self, small_db):
+        out = []
+        for i in range(6):
+            rec = small_db.records[i % 3]  # duplicate-heavy: repeated slices
+            n = min(1500, len(rec))
+            # Same seq_id on purpose: the service, unlike run_many, serves
+            # duplicate ids — each submission gets its own result.
+            out.append(rec.slice(0, n, seq_id=f"dup{i % 3}"))
+        return out
+
+    def test_concurrent_results_match_serial_and_shutdown_is_clean(
+        self, small_db, queries
+    ):
+        pytest.importorskip("multiprocessing.shared_memory")
+        before = _orion_segments()
+        with OrionSearch(database=small_db, num_shards=2) as serial_search:
+            expected = {q.seq_id: serial_search.run(q) for q in {q.seq_id: q for q in queries}.values()}
+
+        search = OrionSearch(
+            database=small_db, num_shards=2, executor="processes", num_workers=2
+        )
+        service = OrionService(
+            search, ServiceConfig(max_inflight=3, queue_depth=8)
+        )
+
+        async def main():
+            async with service:
+                return await asyncio.gather(*(service.submit(q) for q in queries))
+
+        results = asyncio.run(main())
+        assert len(results) == len(queries)
+        for query, result in zip(queries, results):
+            assert result.query_id == query.seq_id
+            assert _canonical(result.alignments) == _canonical(
+                expected[query.seq_id].alignments
+            )
+        assert service.stats.completed == len(queries)
+        assert service.stats.rejected == 0
+        # Drained shutdown released the plane and the pool: no new segments.
+        assert service.state == "closed"
+        assert search._pool is None and search._plane is None
+        assert _orion_segments() - before == set()
+
+    def test_start_prewarms_plane_and_workers(self, small_db):
+        """``start()`` publishes the plane and forks every pool worker from
+        its quiescent moment. If the first concurrent queries forked them
+        instead, a forked child could inherit a lock a sibling query thread
+        held at that instant and deadlock before its first task (observed
+        as a rare wedge of this suite before the warmup existed)."""
+        pytest.importorskip("multiprocessing.shared_memory")
+        search = OrionSearch(
+            database=small_db, num_shards=2, executor="processes", num_workers=2
+        )
+        service = OrionService(search, ServiceConfig(max_inflight=2))
+
+        async def main():
+            async with service:
+                assert search._plane is not None
+                pool = search._pool
+                assert pool is not None
+                inner = pool._pool  # the ProcessPoolExecutor itself exists...
+                assert inner is not None
+                assert len(inner._processes) == 2  # ...with live workers
+
+        asyncio.run(main())
+        assert search._pool is None and search._plane is None
+
+    def test_drain_waits_for_inflight_work(self):
+        async def main():
+            fake = _BlockingSearch()
+            service = OrionService({"db": fake}, ServiceConfig(max_inflight=1, queue_depth=2))
+            await service.start()
+            loop = asyncio.get_running_loop()
+            pending = asyncio.create_task(service.submit(_FakeQuery(), database="db"))
+            await loop.run_in_executor(None, fake.started.wait, 10)
+            closer = asyncio.create_task(service.aclose())
+            await asyncio.sleep(0)
+            assert service.state in ("draining", "running")
+            assert not closer.done()  # close waits for the admitted query
+            fake.release.set()
+            await closer
+            result = await pending
+            assert result[0] == "ok"
+            assert service.state == "closed"
+            assert fake.closed
+
+        asyncio.run(main())
