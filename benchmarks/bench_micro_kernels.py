@@ -12,10 +12,12 @@ import pytest
 
 from repro.blast.gapped import extend_gapped
 from repro.blast.lookup import QueryIndex, kmer_codes, sorted_kmers
-from repro.blast.seeds import find_seeds
+from repro.blast.seeds import find_seeds, thin_seeds, two_hit_filter
 from repro.blast.smith_waterman import smith_waterman_score
-from repro.blast.ungapped import extend_seeds_ungapped
+from repro.blast.ungapped import cull_contained, extend_seeds_ungapped
 from repro.sequence.alphabet import random_bases
+from repro.sketch import KmerSketch, containment
+from repro.sketch.minhash import probe_hashes
 
 
 @pytest.fixture(scope="module")
@@ -62,6 +64,54 @@ def test_ungapped_extension(benchmark, seqs):
     hits = find_seeds(idx, subject)
     batch = benchmark(extend_seeds_ungapped, query, subject, hits, 1, -3, 20)
     assert len(batch) > 0
+
+
+def test_thin_seeds(benchmark, seqs):
+    """Phase-i diagonal thinning over the raw (unthinned) seed set."""
+    query, subject = seqs
+    idx = QueryIndex(query, 11)
+    raw = find_seeds(idx, subject, thin=False)
+    thinned = benchmark(thin_seeds, raw)
+    assert 0 < len(thinned) <= len(raw)
+
+
+def test_two_hit_filter(benchmark, seqs):
+    """Two-hit seeding filter (window 40) over the raw seed set."""
+    query, subject = seqs
+    idx = QueryIndex(query, 11)
+    raw = find_seeds(idx, subject, thin=False)
+    kept = benchmark(two_hit_filter, raw, 40)
+    assert len(kept) <= len(raw)
+
+
+def test_cull_contained(benchmark, seqs):
+    """Containment culling over the ungapped extension batch."""
+    query, subject = seqs
+    idx = QueryIndex(query, 11)
+    hits = find_seeds(idx, subject)
+    batch = extend_seeds_ungapped(query, subject, hits, 1, -3, 20)
+    culled = benchmark(cull_contained, batch)
+    assert 0 < len(culled) <= len(batch)
+
+
+def test_sketch_build(benchmark, seqs):
+    """Bottom-k sketch construction from a sequence's 2-bit codes."""
+    _, subject = seqs
+    sketch = benchmark(KmerSketch.from_codes, subject, 11, 256)
+    assert sketch.num_hashes == 256
+
+
+def test_sketch_probe(benchmark, seqs):
+    """Fragment-vs-sketch containment: hash the probe + one searchsorted."""
+    query, subject = seqs
+    fragment = query[20_000:25_000]
+    sketch = KmerSketch.from_codes(subject, 11, 256)
+
+    def probe():
+        return containment(probe_hashes(fragment, 11), sketch)
+
+    est = benchmark(probe)
+    assert 0.0 <= est <= 1.0
 
 
 def test_gapped_extension(benchmark, seqs):

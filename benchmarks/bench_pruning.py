@@ -1,0 +1,130 @@
+"""Pruning accuracy gate: the contract behind ``prune_threshold``.
+
+Sketch-based shard pruning (see :mod:`repro.sketch`) only ships if it is
+*free* in accuracy terms on a workload where the truth is known. This
+planted-homology scenario is that gate, and CI runs it alongside the
+lint/fault-matrix steps:
+
+1. ``prune_threshold=0.0`` (probe but never prune) must be **byte-identical**
+   to the unpruned run — same alignments, same task count;
+2. the default threshold (:data:`repro.sketch.DEFAULT_PRUNE_THRESHOLD`)
+   must keep **100% of E-value-significant alignments** while cutting
+   dispatched map tasks by **at least 40%** on a multi-shard config.
+
+The workload: a 24-sequence database across 12 shards and a query carrying
+three ~500 bp close homologs (5% divergence). Most (fragment × shard) pairs
+share no k-mer content — exactly the situation the ROADMAP's "searching
+less" item targets — while the homologous shards must all clear the probe.
+"""
+
+import pytest
+
+from repro.core.orion import OrionSearch
+from repro.sequence.generator import (
+    HomologySpec,
+    make_database,
+    make_query_with_homologies,
+)
+from repro.sequence.mutate import MutationModel
+from repro.sketch import DEFAULT_PRUNE_THRESHOLD
+
+#: An alignment at or below this E-value counts as significant for the
+#: recall gate (well inside the default report threshold of 10).
+SIGNIFICANT_EVALUE = 1e-3
+
+NUM_SHARDS = 12
+FRAGMENT_LENGTH = 2000
+
+
+def canonical(alignments):
+    """Field-identical comparison, path included (the byte-identical bar)."""
+    out = []
+    for a in alignments:
+        fields = dict(vars(a))
+        path = fields.pop("path", None)
+        fields["path"] = None if path is None else path.tobytes()
+        out.append(tuple(sorted(fields.items())))
+    return out
+
+
+@pytest.fixture(scope="module")
+def workload():
+    db = make_database(11, num_sequences=24, mean_length=800)
+    query, planted = make_query_with_homologies(
+        12,
+        length=6000,
+        database=db,
+        homologies=[
+            HomologySpec(length=500, model=MutationModel.close_homolog())
+        ]
+        * 3,
+    )
+    return db, query, planted
+
+
+def run(db, query, prune_threshold):
+    search = OrionSearch(
+        db,
+        num_shards=NUM_SHARDS,
+        fragment_length=FRAGMENT_LENGTH,
+        prune_threshold=prune_threshold,
+    )
+    try:
+        return search.run(query)
+    finally:
+        search.close()
+
+
+@pytest.fixture(scope="module")
+def unpruned(workload):
+    db, query, _ = workload
+    return run(db, query, None)
+
+
+def test_threshold_zero_is_byte_identical(workload, unpruned):
+    """Probing with threshold 0 keeps every pair: nothing may change."""
+    db, query, _ = workload
+    zero = run(db, query, 0.0)
+    assert canonical(zero.alignments) == canonical(unpruned.alignments)
+    assert zero.num_work_units == unpruned.num_work_units
+    assert zero.pruned_map_tasks == 0
+    assert zero.shards_searched == NUM_SHARDS
+    assert zero.shards_pruned == 0
+    assert len(unpruned.alignments) > 0
+
+
+def test_default_threshold_cuts_map_tasks(workload, unpruned):
+    """The headline: ≥ 40% fewer dispatched map tasks at the default."""
+    db, query, _ = workload
+    pruned = run(db, query, DEFAULT_PRUNE_THRESHOLD)
+    total = pruned.num_work_units + pruned.pruned_map_tasks
+    assert total == unpruned.num_work_units
+    cut = pruned.pruned_map_tasks / total
+    assert cut >= 0.40, f"only {cut:.0%} of map tasks pruned (need >= 40%)"
+    # shards_searched counts shards with >= 1 surviving task across *all*
+    # fragments; pruning is per (fragment, shard), so a shard one fragment
+    # hits still counts as searched even when other fragments skip it.
+    assert pruned.shards_searched + pruned.shards_pruned == NUM_SHARDS
+    assert pruned.num_work_units < unpruned.num_work_units
+
+
+def test_default_threshold_keeps_all_significant_alignments(workload, unpruned):
+    """100% recall: every E-value-significant alignment survives pruning,
+    field-identical (whole-database statistics make scores comparable)."""
+    db, query, planted = workload
+    pruned = run(db, query, DEFAULT_PRUNE_THRESHOLD)
+    sig_unpruned = {
+        c
+        for c, a in zip(canonical(unpruned.alignments), unpruned.alignments)
+        if a.evalue <= SIGNIFICANT_EVALUE
+    }
+    sig_pruned = {
+        c
+        for c, a in zip(canonical(pruned.alignments), pruned.alignments)
+        if a.evalue <= SIGNIFICANT_EVALUE
+    }
+    assert len(sig_unpruned) >= len(planted)  # every planted homolog found
+    assert sig_unpruned == sig_pruned
+    # The planted subjects themselves must all still be reported.
+    reported = {a.subject_id for a in pruned.alignments}
+    assert {p.subject_id for p in planted} <= reported

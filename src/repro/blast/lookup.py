@@ -23,8 +23,9 @@ def kmer_codes(codes: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
     invalid base (``N`` sentinel). Output length is ``len(codes) − k + 1``
     (empty when the sequence is shorter than k).
 
-    Implementation: a sliding-window *view* (no copy) contracted against the
-    base-4 place-value vector — O(n·k) multiply-adds, all in NumPy.
+    Implementation: Horner's rule over k shifted 1-D slices — k in-place
+    shift-adds on the output array, O(n·k) adds with O(n) peak memory (no
+    (n − k + 1) × k window materialization).
     """
     codes = np.asarray(codes, dtype=np.uint8)
     if k <= 0:
@@ -34,19 +35,21 @@ def kmer_codes(codes: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
     n = codes.shape[0]
     if n < k:
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
-    windows = np.lib.stride_tricks.sliding_window_view(codes, k)
-    weights = (np.int64(1) << (2 * np.arange(k - 1, -1, -1, dtype=np.int64)))
     # Invalid sentinel codes (255) would poison the packing; clamp them to 0
     # for arithmetic and mark the affected windows invalid instead.
     bad = codes >= ALPHABET_SIZE
     if bad.any():
-        clean = np.where(bad, np.uint8(0), codes)
-        windows = np.lib.stride_tricks.sliding_window_view(clean, k)
+        clean = np.where(bad, np.uint8(0), codes).astype(np.int64)
         bad_prefix = np.concatenate(([0], np.cumsum(bad, dtype=np.int64)))
         valid = (bad_prefix[k:] - bad_prefix[:-k]) == 0
     else:
+        clean = codes.astype(np.int64)
         valid = np.ones(n - k + 1, dtype=bool)
-    packed = windows.astype(np.int64) @ weights
+    m = n - k + 1
+    packed = np.zeros(m, dtype=np.int64)
+    for j in range(k):  # first base lands in the most significant 2 bits
+        packed <<= 2
+        packed += clean[j : j + m]
     return packed, valid
 
 

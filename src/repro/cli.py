@@ -71,6 +71,13 @@ def _cmd_make_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _prune_threshold_from(args: argparse.Namespace) -> Optional[float]:
+    """Resolve --prune-threshold / --no-prune (the latter wins)."""
+    if args.no_prune:
+        return None
+    return args.prune_threshold
+
+
 def _params_from(args: argparse.Namespace) -> BlastParams:
     overrides = {}
     if args.evalue is not None:
@@ -116,6 +123,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
             retries=args.retries,
             task_timeout=args.task_timeout,
             speculative_tasks=args.speculative,
+            prune_threshold=_prune_threshold_from(args),
         )
 
     all_alignments = []
@@ -189,6 +197,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shuffle=args.shuffle,
         shared_db=args.shared_db,
         retries=args.retries,
+        prune_threshold=_prune_threshold_from(args),
     )
     config = ServiceConfig(
         max_inflight=args.max_inflight,
@@ -196,6 +205,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         breaker_failures=args.breaker_failures,
         breaker_reset_seconds=args.breaker_reset_seconds,
         breaker_probes=args.breaker_probes,
+        prune_threshold=_prune_threshold_from(args),
     )
 
     service = OrionService(search, config)
@@ -227,6 +237,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"breaker {stats.rejected_circuit_open}); failed {stats.failed}",
         file=sys.stderr,
     )
+    if config.prune_threshold is not None:
+        total_visits = stats.shards_searched + stats.shards_pruned
+        print(
+            f"pruning (threshold {config.prune_threshold}): searched "
+            f"{stats.shards_searched}/{total_visits} shard visits, skipped "
+            f"{stats.pruned_map_tasks} map tasks",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -363,6 +381,20 @@ def build_parser() -> argparse.ArgumentParser:
         "first commit wins (results are identical either way)",
     )
     p.add_argument(
+        "--prune-threshold",
+        type=float,
+        default=None,
+        help="sketch-based shard pruning for orion mode: skip (fragment x "
+        "shard) map tasks whose estimated k-mer containment is below this "
+        "fraction (try 0.02; E-value statistics stay whole-database, and "
+        "0 probes without pruning — byte-identical output; default: off)",
+    )
+    p.add_argument(
+        "--no-prune",
+        action="store_true",
+        help="force shard pruning off (overrides --prune-threshold)",
+    )
+    p.add_argument(
         "--sanitize",
         action="store_true",
         help="run the MapReduce job under the race sanitizer instead of the "
@@ -439,6 +471,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="concurrent probe queries admitted while half-open (default: 1)",
+    )
+    p.add_argument(
+        "--prune-threshold",
+        type=float,
+        default=None,
+        help="sketch-based shard pruning for every served query (see "
+        "search --prune-threshold; default: off)",
+    )
+    p.add_argument(
+        "--no-prune",
+        action="store_true",
+        help="force shard pruning off (overrides --prune-threshold)",
     )
     p.add_argument("--evalue", type=float, default=None)
     p.add_argument("--task", choices=("blastn", "megablast"), default="blastn")

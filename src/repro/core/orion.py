@@ -47,6 +47,7 @@ from repro.mapreduce.runtime import (
 from repro.mapreduce.types import InputSplit, JobResult, TaskKind
 from repro.mpiblast.formatdb import DatabaseShard, shard_database
 from repro.sequence.alphabet import reverse_complement
+from repro.sketch import ShardSketchIndex, validate_prune_threshold
 from repro.sequence.records import Database, SequenceRecord
 from repro.units import WorkUnit, WorkUnitRecord
 from repro.util.timers import Stopwatch
@@ -114,6 +115,12 @@ class QueryPlan:
     fragments: List[QueryFragment]
     job: MapReduceJob
     splits: List[InputSplit]
+    #: Sketch-pruning accounting (see :mod:`repro.sketch`): distinct shards
+    #: with at least one emitted split, shards every fragment skipped, and
+    #: the (fragment × shard) pairs pruned away before dispatch.
+    shards_searched: int = 0
+    shards_pruned: int = 0
+    pruned_map_tasks: int = 0
 
 
 class _OrionMapper:
@@ -278,6 +285,17 @@ class OrionSearch:
     fault_injector:
         Optional :class:`repro.mapreduce.faults.FaultInjector` threaded
         into every task attempt (tests/benchmarks only).
+    prune_threshold:
+        Sketch-based shard pruning (see :mod:`repro.sketch`): ``None``
+        (default) emits every (fragment × shard) map task unconditionally
+        and never probes; a float in ``[0, 1]`` probes each fragment
+        against per-shard bottom-k k-mer sketches and emits tasks only
+        for shards whose estimated containment is ``>= prune_threshold``.
+        ``0.0`` probes but keeps everything (the byte-identical sanity
+        setting); :data:`repro.sketch.DEFAULT_PRUNE_THRESHOLD` is the
+        benchmark-gated default for callers that opt in. E-value
+        statistics stay whole-database either way (``stats_space``), so
+        surviving alignments score identically to the unpruned run.
     """
 
     def __init__(
@@ -308,6 +326,7 @@ class OrionSearch:
         task_timeout: Optional[float] = None,
         speculative_tasks: bool = False,
         fault_injector: Optional[FaultInjector] = None,
+        prune_threshold: Optional[float] = None,
     ) -> None:
         check_positive("num_shards", num_shards)
         check_positive("retries", retries)
@@ -362,6 +381,8 @@ class OrionSearch:
         self._plane: Optional[shm_mod.SharedDatabasePlane] = None
         self._shm_handle: Optional[shm_mod.SharedDatabaseHandle] = None
         self._db_view: Optional[shm_mod.SharedDatabaseView] = None
+        self.prune_threshold = validate_prune_threshold(prune_threshold)
+        self._sketch_index: Optional[ShardSketchIndex] = None
         self._db_key = (database.name, self.params.k, _database_fingerprint(database))
         if aggregation_mode not in ("research", "splice"):
             raise ValueError(
@@ -457,6 +478,39 @@ class OrionSearch:
             self._shm_handle = plane.handle
             self._plane = plane
 
+    def _ensure_sketch_index(self) -> ShardSketchIndex:
+        """Build the per-shard sketch index on first pruned ``prepare``.
+
+        Prefers the shared plane's per-sequence sketches (zero extra
+        hashing — they were built at plane-publish time; the shard merge
+        *copies*, so the index outlives the plane) and falls back to
+        sketching each sequence in-process when the plane is off, absent,
+        or was published without sketches. Both paths produce bit-identical
+        sketches (the hash is deterministic), so pruning decisions do not
+        depend on the executor or ``shared_db``. Thread-safe.
+        """
+        if self._sketch_index is not None:
+            return self._sketch_index
+        self._ensure_plane()
+        with self._setup_lock:
+            if self._sketch_index is not None:
+                return self._sketch_index
+            sequence_sketch = None
+            view: Optional[shm_mod.SharedDatabaseView] = None
+            if self._plane is not None and self._plane.handle.has_sketches:
+                view = self._plane.view()
+                sequence_sketch = view.sequence_sketch
+            try:
+                self._sketch_index = ShardSketchIndex.build(
+                    self.shards,
+                    self.params.k,
+                    sequence_sketch=sequence_sketch,
+                )
+            finally:
+                if view is not None:
+                    view.close()
+            return self._sketch_index
+
     def warmup(self) -> None:
         """Eagerly build what ``run`` would build lazily (thread-safety).
 
@@ -476,6 +530,8 @@ class OrionSearch:
             prewarm = getattr(self._mr_executor(), "prewarm", None)
             if callable(prewarm):
                 prewarm()
+        if self.prune_threshold is not None:
+            self._ensure_sketch_index()
 
     def _mr_executor(self) -> Executor:
         """The executor jobs actually run on.
@@ -508,6 +564,7 @@ class OrionSearch:
         state["_pool"] = None
         state["_plane"] = None
         state["_db_view"] = None
+        state["_sketch_index"] = None  # driver-side; workers never prepare()
         state["_setup_lock"] = None  # locks don't pickle; workers get a fresh one
         if self._shm_handle is not None:
             state["database"] = None
@@ -650,11 +707,14 @@ class OrionSearch:
     ) -> "QueryPlan":
         """Plan one query: fragments, the MapReduce job, and its splits.
 
-        Pure with respect to execution — no tasks run, no pool or plane is
-        touched — so the always-on service can plan admissions cheaply and
-        submit the resulting job whenever capacity allows. Feed the plan to
-        an executor (``executor.run(plan.job, plan.splits)``) and hand the
-        raw job result to :meth:`assemble`; :meth:`run` is exactly that
+        Pure with respect to execution — no tasks run, no pool is touched —
+        so the always-on service can plan admissions cheaply and submit the
+        resulting job whenever capacity allows. (With ``prune_threshold``
+        set, the first call does build the per-shard sketch index, reading
+        the shared plane's prebuilt sketches when the plane is already up —
+        :meth:`warmup` front-loads that.) Feed the plan to an executor
+        (``executor.run(plan.job, plan.splits)``) and hand the raw job
+        result to :meth:`assemble`; :meth:`run` is exactly that
         composition.
         """
         overlap, space = self.overlap_for_query(query)
@@ -671,12 +731,11 @@ class OrionSearch:
         # Payloads carry the shard *index*, not the shard: process workers
         # hold the sharded database already (it ships once with the job), so
         # tasks only move a fragment descriptor.
+        pairs = self._plan_pairs(fragments)
         splits = [
-            InputSplit(index=i, payload=(fragment, shard.index))
-            for i, (fragment, shard) in enumerate(
-                (f, s) for f in fragments for s in self.shards
-            )
+            InputSplit(index=i, payload=pair) for i, pair in enumerate(pairs)
         ]
+        searched = {shard_index for _, shard_index in pairs}
         return QueryPlan(
             query=query,
             space=space,
@@ -685,7 +744,40 @@ class OrionSearch:
             fragments=fragments,
             job=job,
             splits=splits,
+            shards_searched=len(searched),
+            shards_pruned=len(self.shards) - len(searched),
+            pruned_map_tasks=len(fragments) * len(self.shards) - len(pairs),
         )
+
+    def _plan_pairs(
+        self, fragments: List[QueryFragment]
+    ) -> List[Tuple[QueryFragment, int]]:
+        """The (fragment, shard index) pairs to dispatch as map tasks.
+
+        With ``prune_threshold`` unset this is the full cross product.
+        Otherwise each fragment probes the per-shard sketch index and only
+        shards whose estimated k-mer containment clears the threshold get a
+        task; for ``strands="both"`` the fragment's reverse complement is
+        probed too (minus-strand alignments match the subject through rc
+        k-mers) and the larger estimate decides. The probe errs toward
+        keeping (see :func:`repro.sketch.containment`), and E-value
+        statistics are whole-database regardless, so surviving alignments
+        are byte-identical to the unpruned run's.
+        """
+        if self.prune_threshold is None:
+            return [(f, s.index) for f in fragments for s in self.shards]
+        index = self._ensure_sketch_index()
+        pairs: List[Tuple[QueryFragment, int]] = []
+        for fragment in fragments:
+            cont = index.probe(fragment.record.codes)
+            if self.strands == "both":
+                cont = np.maximum(
+                    cont, index.probe(reverse_complement(fragment.record.codes))
+                )
+            for shard in self.shards:
+                if cont[shard.index] >= self.prune_threshold:
+                    pairs.append((fragment, shard.index))
+        return pairs
 
     def assemble(
         self,
@@ -762,6 +854,9 @@ class OrionSearch:
             dropped_partials=agg_stats.dropped_partials,
             executor_kind=self.executor.kind,
             mapreduce_wall_seconds=mapreduce_wall,
+            shards_searched=plan.shards_searched,
+            shards_pruned=plan.shards_pruned,
+            pruned_map_tasks=plan.pruned_map_tasks,
         )
         if cluster is not None:
             result.schedule = self.simulate(result, cluster)
@@ -781,8 +876,11 @@ class OrionSearch:
         query's result byte-identical to calling :meth:`run` alone —
         property-tested. Safe to call concurrently from multiple threads.
         """
-        plan = self.prepare(query, fragment_length)
+        # Plane first: with pruning enabled, prepare()'s sketch index can
+        # then merge the plane's prebuilt per-sequence sketches instead of
+        # re-hashing the database in-process.
         self._ensure_plane()
+        plan = self.prepare(query, fragment_length)
         executor = self._mr_executor()
         mr_wall = Stopwatch().start()
         mr = executor.run(plan.job, plan.splits)

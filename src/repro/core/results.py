@@ -83,6 +83,13 @@ class OrionResult:
     #: the number the executor benchmark tracks (parallel backends should
     #: shrink it while leaving ``alignments`` bit-identical).
     mapreduce_wall_seconds: float = 0.0
+    #: Sketch-based shard pruning accounting (see :mod:`repro.sketch`):
+    #: shards that received at least one map task vs. shards every fragment
+    #: skipped, and the (fragment × shard) map tasks pruned away. With
+    #: pruning off: ``shards_searched == num_shards`` and the others are 0.
+    shards_searched: int = 0
+    shards_pruned: int = 0
+    pruned_map_tasks: int = 0
 
     def __len__(self) -> int:
         return len(self.alignments)
@@ -135,6 +142,9 @@ class OrionResult:
             schedule=None,
             executor_kind=self.executor_kind,
             mapreduce_wall_seconds=self.mapreduce_wall_seconds,
+            shards_searched=self.shards_searched,
+            shards_pruned=self.shards_pruned,
+            pruned_map_tasks=self.pruned_map_tasks,
         )
 
     def total_measured_seconds(self) -> float:

@@ -47,6 +47,7 @@ import numpy as np
 
 if TYPE_CHECKING:  # import would be cycle-free but is kept lazy at runtime
     from repro.sequence.records import Database
+    from repro.sketch import KmerSketch
 
 try:
     from multiprocessing import shared_memory as _shm_module
@@ -320,6 +321,14 @@ class SharedDatabaseHandle:
     ``codes[codes_offsets[i]:codes_offsets[i+1]]`` and its sorted k-mer
     keys/positions at ``kmer_offsets[i]:kmer_offsets[i+1]`` of the two
     k-mer segments.
+
+    ``sketch_segment`` (optional fourth segment) holds per-sequence
+    bottom-k k-mer sketches (sorted uint64 hashes; sequence ``i``'s at
+    ``sketch_offsets[i]:sketch_offsets[i+1]``), with the per-sequence
+    inclusive thresholds in ``sketch_thresholds``. The driver's shard-
+    pruning probe (:mod:`repro.sketch`) merges these per shard; planes
+    published by older layouts (``sketch_segment=None``) simply fall back
+    to the in-process sketch build.
     """
 
     plane_id: str
@@ -332,10 +341,27 @@ class SharedDatabaseHandle:
     kmer_keys_segment: str
     kmer_positions_segment: str
     kmer_offsets: Tuple[int, ...]
+    sketch_segment: Optional[str] = None
+    sketch_offsets: Tuple[int, ...] = (0,)
+    sketch_thresholds: Tuple[int, ...] = ()
+    sketch_size: int = 0
 
     @property
-    def segment_names(self) -> Tuple[str, str, str]:
-        return (self.codes_segment, self.kmer_keys_segment, self.kmer_positions_segment)
+    def segment_names(self) -> Tuple[str, ...]:
+        names: Tuple[str, ...] = (
+            self.codes_segment, self.kmer_keys_segment, self.kmer_positions_segment
+        )
+        if self.sketch_segment is not None:
+            names = names + (self.sketch_segment,)
+        return names
+
+    @property
+    def has_sketches(self) -> bool:
+        return self.sketch_segment is not None
+
+    @property
+    def total_sketch_hashes(self) -> int:
+        return self.sketch_offsets[-1]
 
     @property
     def total_codes(self) -> int:
@@ -364,10 +390,15 @@ class SharedDatabaseView:
     ) -> None:
         self.handle = handle
         self._segments = list(segments)
-        codes_seg, keys_seg, pos_seg = self._segments
+        codes_seg, keys_seg, pos_seg = self._segments[:3]
         self._codes = _wrap_array(codes_seg, np.uint8, handle.total_codes)
         self._keys = _wrap_array(keys_seg, np.int64, handle.total_kmers)
         self._positions = _wrap_array(pos_seg, np.int64, handle.total_kmers)
+        self._sketches: Optional[np.ndarray] = None
+        if handle.has_sketches and len(self._segments) > 3:
+            self._sketches = _wrap_array(
+                self._segments[3], np.uint64, handle.total_sketch_hashes
+            )
         self._index = {seq_id: i for i, seq_id in enumerate(handle.seq_ids)}
         self._database: Optional["Database"] = None
         self._closed = False
@@ -400,6 +431,31 @@ class SharedDatabaseView:
         """
         return {seq_id: self.sorted_kmers(seq_id) for seq_id in seq_ids}
 
+    @property
+    def has_sketches(self) -> bool:
+        """Whether this plane was published with the sketch segment."""
+        return self._sketches is not None
+
+    def sequence_sketch(self, seq_id: str) -> "KmerSketch":
+        """One sequence's bottom-k k-mer sketch (hashes are a view).
+
+        Raises :class:`SharedMemoryUnavailable` when the plane was
+        published without sketches — callers fall back to the in-process
+        build (see :meth:`repro.sketch.ShardSketchIndex.build`).
+        """
+        if self._sketches is None:
+            raise SharedMemoryUnavailable(
+                f"plane {self.handle.plane_id} was published without sketches"
+            )
+        from repro.sketch import KmerSketch
+
+        i = self._index[seq_id]
+        off = self.handle.sketch_offsets
+        return KmerSketch.from_parts(
+            self._sketches[off[i] : off[i + 1]],
+            self.handle.sketch_thresholds[i],
+        )
+
     def database(self) -> "Database":
         """The full database, rebuilt from shared codes (records are views)."""
         if self._database is None:
@@ -425,6 +481,7 @@ class SharedDatabaseView:
         self._closed = True
         self._database = None
         self._codes = self._keys = self._positions = np.empty(0, dtype=np.uint8)
+        self._sketches = None
         for seg in self._segments:
             try:
                 seg.close()
@@ -487,7 +544,9 @@ class SharedDatabasePlane:
     # -- construction --------------------------------------------------- #
 
     @classmethod
-    def create(cls, database: "Database", k: int) -> "SharedDatabasePlane":
+    def create(
+        cls, database: "Database", k: int, sketch_size: Optional[int] = None
+    ) -> "SharedDatabasePlane":
         """Build a plane for ``database`` and word size ``k``.
 
         Two passes keep peak extra memory at one sequence's index, not the
@@ -495,10 +554,20 @@ class SharedDatabasePlane:
         exactly, then each sequence's sorted index is built straight into
         its slice of the shared buffers (see
         :func:`repro.blast.lookup.sorted_kmers_into`).
+
+        ``sketch_size`` controls the per-sequence bottom-k sketches that
+        ride in the optional fourth segment (``None`` — the default — uses
+        :data:`repro.sketch.SKETCH_SIZE_DEFAULT`; ``0`` omits the segment
+        entirely). Sketching is a cheap pass over the sorted k-mer keys
+        already sitting in the k-mer segment, so publishing sketches adds
+        a fraction of the plane's build cost and a few KiB per sequence.
         """
         _require_shm()
         from repro.blast.lookup import count_valid_kmers, sorted_kmers_into
+        from repro.sketch import SKETCH_SIZE_DEFAULT, KmerSketch
 
+        if sketch_size is None:
+            sketch_size = SKETCH_SIZE_DEFAULT
         records = list(database)
         seq_ids = tuple(r.seq_id for r in records)
         descriptions = tuple(r.description for r in records)
@@ -524,6 +593,7 @@ class SharedDatabasePlane:
             pos_arr: np.ndarray = np.ndarray(
                 (kmer_offsets[-1],), dtype=np.int64, buffer=pos_seg.buf
             )
+            sketches: List["KmerSketch"] = []
             for i, rec in enumerate(records):
                 codes_arr[codes_offsets[i] : codes_offsets[i + 1]] = rec.codes
                 sorted_kmers_into(
@@ -532,6 +602,31 @@ class SharedDatabasePlane:
                     keys_arr[kmer_offsets[i] : kmer_offsets[i + 1]],
                     pos_arr[kmer_offsets[i] : kmer_offsets[i + 1]],
                 )
+                if sketch_size > 0:
+                    # Sketch straight off the keys just written — they are
+                    # already sorted, so the distinct pass is a cheap scan.
+                    sketches.append(
+                        KmerSketch.from_kmer_keys(
+                            keys_arr[kmer_offsets[i] : kmer_offsets[i + 1]],
+                            sketch_size,
+                        )
+                    )
+
+            sketch_segment: Optional[str] = None
+            sketch_offsets: Tuple[int, ...] = (0,)
+            sketch_thresholds: Tuple[int, ...] = ()
+            if sketch_size > 0:
+                sketch_offsets = _prefix_sums(s.num_hashes for s in sketches)
+                sketch_thresholds = tuple(s.threshold for s in sketches)
+                sketch_seg = create_segment(sketch_offsets[-1] * 8)
+                segments.append(sketch_seg)
+                sketch_segment = sketch_seg.name
+                sketch_arr: np.ndarray = np.ndarray(
+                    (sketch_offsets[-1],), dtype=np.uint64, buffer=sketch_seg.buf
+                )
+                for i, sk in enumerate(sketches):
+                    sketch_arr[sketch_offsets[i] : sketch_offsets[i + 1]] = sk.hashes
+                del sketch_arr
             # Drop the creator-side array aliases so close() can unmap later.
             del codes_arr, keys_arr, pos_arr
 
@@ -546,6 +641,10 @@ class SharedDatabasePlane:
                 kmer_keys_segment=keys_seg.name,
                 kmer_positions_segment=pos_seg.name,
                 kmer_offsets=kmer_offsets,
+                sketch_segment=sketch_segment,
+                sketch_offsets=sketch_offsets,
+                sketch_thresholds=sketch_thresholds,
+                sketch_size=sketch_size,
             )
             plane = cls(handle, segments)
             ok = True

@@ -49,6 +49,7 @@ from repro.service.errors import (
     ServiceClosedError,
     UnknownDatabaseError,
 )
+from repro.sketch import validate_prune_threshold
 
 
 @dataclass(frozen=True)
@@ -59,6 +60,9 @@ class ServiceConfig:
     thread, all feeding the shared worker pool); up to ``queue_depth``
     more wait in the bounded admission queue; beyond that, load is shed.
     The ``breaker_*`` knobs configure each database's circuit breaker.
+    ``prune_threshold`` (``None`` = leave each search's own setting alone)
+    overrides sketch-based shard pruning on every served search — see
+    :mod:`repro.sketch` and ``OrionSearch(prune_threshold=...)``.
     """
 
     max_inflight: int = 4
@@ -66,6 +70,7 @@ class ServiceConfig:
     breaker_failures: int = 5
     breaker_reset_seconds: float = 30.0
     breaker_probes: int = 1
+    prune_threshold: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_inflight <= 0:
@@ -76,6 +81,11 @@ class ServiceConfig:
             raise ValueError(
                 f"queue_depth must be positive, got {self.queue_depth}"
             )
+        object.__setattr__(
+            self,
+            "prune_threshold",
+            validate_prune_threshold(self.prune_threshold),
+        )
 
 
 @dataclass
@@ -94,6 +104,13 @@ class ServiceStats:
     rejected_queue_full: int = 0
     rejected_circuit_open: int = 0
     latencies: List[float] = field(default_factory=list)
+    #: Sketch-pruning totals across completed queries (see
+    #: :mod:`repro.sketch`): shards actually searched, shards skipped, and
+    #: (fragment × shard) map tasks never dispatched. All zero when
+    #: pruning is off.
+    shards_searched: int = 0
+    shards_pruned: int = 0
+    pruned_map_tasks: int = 0
 
     @property
     def rejected(self) -> int:
@@ -217,6 +234,9 @@ class OrionService:
         # Deferring this to the first queries would fork the workers
         # while sibling threads run — a forked child can inherit a lock
         # held at that instant and deadlock (see WorkerPool.prewarm).
+        if self.config.prune_threshold is not None:
+            for search in self._searches.values():
+                search.prune_threshold = self.config.prune_threshold
         for search in self._searches.values():
             warmup = getattr(search, "warmup", None)
             if callable(warmup):
@@ -359,6 +379,15 @@ class OrionService:
                 self.stats.completed += 1
                 self.stats.latencies.append(
                     self._clock() - admission.admitted_at
+                )
+                # getattr: stub searches in tests return bare objects
+                # without pruning counters.
+                self.stats.shards_searched += getattr(
+                    result, "shards_searched", 0
+                )
+                self.stats.shards_pruned += getattr(result, "shards_pruned", 0)
+                self.stats.pruned_map_tasks += getattr(
+                    result, "pruned_map_tasks", 0
                 )
                 if not admission.future.done():
                     admission.future.set_result(result)

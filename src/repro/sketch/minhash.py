@@ -1,0 +1,270 @@
+"""Bottom-k sketches over k-mer codes, with an exact-below-threshold probe.
+
+The estimator
+-------------
+A sequence's 2-bit-packed k-mer codes are hashed through a fixed 64-bit
+mixer (:func:`hash_codes`, the splitmix64 finalizer), which maps the
+distinct k-mer set to what behaves like a uniform sample of ``[0, 2^64)``.
+A **bottom-k sketch** keeps the ``size`` smallest hashes; its *threshold*
+``T`` is the largest kept hash (or ``2^64 − 1`` when the set had no more
+than ``size`` distinct k-mers, in which case the sketch is *complete*).
+
+The key property used everywhere here: the sketch contains **every** hash
+of the set that is ``<= T``. Membership below the threshold is therefore
+exact, not approximate — given a probe set P, the fraction of
+``{p ∈ P : hash(p) <= T}`` found in the sketch is an unbiased estimate of
+the containment ``|P ∩ S| / |P|`` of P in the sketched set S, because the
+sub-threshold region is a uniform random slice of hash space. The variance
+is that of a binomial over the sub-threshold probe count, so
+:func:`containment` refuses to judge (returns 1.0 — "cannot rule the shard
+out") when fewer than ``min_probe`` probe hashes fall below the threshold.
+
+Merging: bottom-k sketches are unionable. ``merge_sketches`` takes the
+union of member hashes clipped to the *minimum* member threshold — below
+that bound every member's membership is exact, hence so is the union's.
+This is what lets the shared-memory plane store one sketch per *sequence*
+(sharding-agnostic) while :class:`ShardSketchIndex` derives per-*shard*
+sketches for any ``num_shards``.
+
+Recall bound (Kucherov & Noé's seed-sensitivity view): an alignment of
+length ℓ at identity p shares ≈ ``(ℓ − k + 1)·p^k`` k-mers with its
+subject, so a fragment of F bases carrying it has true containment at
+least ``(ℓ − k + 1)·p^k / F``. Choosing ``prune_threshold`` below that for
+the shortest alignment one must keep bounds the recall loss to the
+binomial tail of the probe — driven to ~0 by the ``min_probe`` floor and
+the benchmark-gated default (:data:`DEFAULT_PRUNE_THRESHOLD`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.blast.lookup import kmer_codes
+
+#: Per-sequence bottom-k sketch size (hashes kept). 256 keeps a whole
+#: human-scale database's sketches under a few MiB while giving multi-
+#: hundred-probe denominators on typical Orion fragments.
+SKETCH_SIZE_DEFAULT = 256
+
+#: The benchmarked default pruning threshold (``benchmarks/bench_pruning.py``
+#: gates it: 100% recall of E-value-significant alignments on planted-
+#: homology workloads while cutting map tasks substantially). Callers opt
+#: in explicitly — ``OrionSearch(prune_threshold=None)`` (the default)
+#: never probes.
+DEFAULT_PRUNE_THRESHOLD = 0.02
+
+#: Minimum sub-threshold probe count required before a shard may be ruled
+#: out. Below it the estimator's variance is too high; the probe returns
+#: containment 1.0 ("keep") instead of guessing.
+MIN_PROBE_DEFAULT = 16
+
+#: Threshold sentinel marking a *complete* sketch (every distinct k-mer
+#: hash of the set is present; membership is exact everywhere).
+COMPLETE_THRESHOLD = int(np.iinfo(np.uint64).max)
+
+
+def hash_codes(keys: np.ndarray) -> np.ndarray:
+    """Mix int64 k-mer codes into uniform uint64 hashes (splitmix64 finalizer).
+
+    Deterministic and stateless — the same code always hashes the same —
+    so sketches built in different processes (or sessions sharing a plane)
+    agree bit-for-bit. Vectorized: three shift-xor-multiply rounds over the
+    whole array, wrapping modulo 2^64.
+    """
+    x = np.asarray(keys).astype(np.uint64)
+    x = x + np.uint64(0x9E3779B97F4A7C15)
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return x ^ (x >> np.uint64(31))
+
+
+@dataclass(frozen=True)
+class KmerSketch:
+    """Bottom-k sketch of one k-mer set: sorted hashes + inclusive threshold.
+
+    Invariants (checked by tests, relied on by :func:`containment`):
+    ``hashes`` is sorted, duplicate-free, and contains **every** hash of
+    the sketched set that is ``<= threshold``; ``threshold`` is
+    :data:`COMPLETE_THRESHOLD` iff the sketch is the whole set.
+    """
+
+    hashes: np.ndarray
+    threshold: int
+
+    def __post_init__(self) -> None:
+        if self.threshold < 0:
+            raise ValueError(f"threshold must be non-negative, got {self.threshold}")
+
+    @property
+    def num_hashes(self) -> int:
+        return int(self.hashes.shape[0])
+
+    @property
+    def complete(self) -> bool:
+        """Whether this sketch holds the set's entire hashed k-mer content."""
+        return self.threshold == COMPLETE_THRESHOLD
+
+    @classmethod
+    def from_kmer_keys(cls, keys: np.ndarray, size: int) -> "KmerSketch":
+        """Sketch a set of packed k-mer codes (sorted or not, duplicates ok)."""
+        if size <= 0:
+            raise ValueError(f"sketch size must be positive, got {size}")
+        distinct = np.unique(np.asarray(keys, dtype=np.int64))
+        hashes = np.sort(hash_codes(distinct))
+        # Hash collisions between distinct keys only shrink the sketch by
+        # the collided duplicates — membership below the threshold stays
+        # exact, which is the property the probe depends on.
+        hashes = np.unique(hashes)
+        if hashes.shape[0] <= size:
+            return cls(hashes=hashes, threshold=COMPLETE_THRESHOLD)
+        kept = hashes[:size]
+        return cls(hashes=kept, threshold=int(kept[-1]))
+
+    @classmethod
+    def from_codes(cls, codes: np.ndarray, k: int, size: int) -> "KmerSketch":
+        """Sketch a sequence's valid k-mers straight from its 2-bit codes."""
+        packed, valid = kmer_codes(codes, k)
+        return cls.from_kmer_keys(packed[valid], size)
+
+    @classmethod
+    def from_parts(
+        cls, hashes: np.ndarray, threshold: int
+    ) -> "KmerSketch":
+        """Rewrap stored sketch data (e.g. a shared-plane segment slice)."""
+        return cls(hashes=np.asarray(hashes, dtype=np.uint64), threshold=int(threshold))
+
+
+def merge_sketches(parts: Sequence[KmerSketch]) -> KmerSketch:
+    """The sketch of the union of the sketched sets.
+
+    Valid below ``min(part thresholds)``: each part contains all of its
+    set's hashes up to its own threshold, so the union's membership is
+    exact up to the smallest one. Entries above that bound are dropped
+    (they are not guaranteed complete for the union). The merge *copies*
+    (``unique``/``concatenate``), so merged sketches never alias shared-
+    memory segments and survive the plane's teardown.
+    """
+    if not parts:
+        return KmerSketch(
+            hashes=np.empty(0, dtype=np.uint64), threshold=COMPLETE_THRESHOLD
+        )
+    threshold = min(p.threshold for p in parts)
+    merged = np.unique(np.concatenate([p.hashes for p in parts]))
+    merged = merged[merged <= np.uint64(threshold)]
+    return KmerSketch(hashes=merged, threshold=threshold)
+
+
+def probe_hashes(codes: np.ndarray, k: int) -> np.ndarray:
+    """A fragment's sorted distinct k-mer hashes — the probe side of
+    :func:`containment` (build once per fragment, test against every
+    shard's sketch)."""
+    packed, valid = kmer_codes(codes, k)
+    return np.sort(hash_codes(np.unique(packed[valid])))
+
+
+def containment(
+    probe: np.ndarray,
+    sketch: KmerSketch,
+    min_probe: int = MIN_PROBE_DEFAULT,
+) -> float:
+    """Estimated fraction of the probe's k-mers present in the sketched set.
+
+    ``probe`` is the output of :func:`probe_hashes`. Errs on the side of
+    **not pruning**: returns 1.0 when the probe is empty or too few probe
+    hashes fall below the sketch threshold to judge (``min_probe``; a
+    complete sketch is exact and judged regardless). A return of 0.0
+    against a complete sketch is a certainty, not an estimate — the shard
+    shares no k-mer with the probe and cannot seed an alignment.
+    """
+    if probe.shape[0] == 0:
+        return 1.0
+    if sketch.complete:
+        below = probe
+    else:
+        below = probe[probe <= np.uint64(sketch.threshold)]
+        if below.shape[0] < min_probe:
+            return 1.0
+    if below.shape[0] == 0:
+        return 1.0
+    if sketch.num_hashes == 0:
+        return 0.0
+    idx = np.searchsorted(sketch.hashes, below)
+    found = sketch.hashes[np.minimum(idx, sketch.num_hashes - 1)] == below
+    return float(found.mean())
+
+
+class ShardSketchIndex:
+    """Per-shard sketches plus the vectorized fragment probe.
+
+    Built once per :class:`~repro.core.orion.OrionSearch` (driver side):
+    either in-process from the shards' codes, or — when the shared
+    database plane carries per-sequence sketches — by merging zero-copy
+    slices of the plane's sketch segment (``sequence_sketch`` callback).
+    Merged sketches own their arrays either way, so the index outlives the
+    plane. Probing is read-only and thread-safe.
+    """
+
+    def __init__(self, sketches: List[KmerSketch], k: int) -> None:
+        self.sketches = list(sketches)
+        self.k = int(k)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.sketches)
+
+    @classmethod
+    def build(
+        cls,
+        shards: Sequence[object],
+        k: int,
+        size: int = SKETCH_SIZE_DEFAULT,
+        sequence_sketch: Optional[Callable[[str], KmerSketch]] = None,
+    ) -> "ShardSketchIndex":
+        """Index a sharding (``repro.mpiblast.formatdb.DatabaseShard`` list).
+
+        ``sequence_sketch`` — a ``seq_id -> KmerSketch`` callback (the
+        shared plane's :meth:`~repro.mapreduce.shm.SharedDatabaseView.
+        sequence_sketch`) — switches to merging prebuilt per-sequence
+        sketches; ``None`` sketches each sequence's codes in-process.
+        """
+        sketches: List[KmerSketch] = []
+        for shard in shards:
+            parts: List[KmerSketch] = []
+            for rec in shard.database:  # type: ignore[attr-defined]
+                if sequence_sketch is not None:
+                    parts.append(sequence_sketch(rec.seq_id))
+                else:
+                    parts.append(KmerSketch.from_codes(rec.codes, k, size))
+            sketches.append(merge_sketches(parts))
+        return cls(sketches, k)
+
+    def probe(
+        self, codes: np.ndarray, min_probe: int = MIN_PROBE_DEFAULT
+    ) -> np.ndarray:
+        """Estimated containment of a fragment in every shard (float64 array)."""
+        probe = probe_hashes(codes, self.k)
+        return np.array(
+            [containment(probe, sk, min_probe) for sk in self.sketches],
+            dtype=np.float64,
+        )
+
+
+def validate_prune_threshold(value: Optional[float]) -> Optional[float]:
+    """Normalize a user-supplied prune threshold (None disables probing)."""
+    if value is None:
+        return None
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(
+            f"prune_threshold must be in [0, 1] (a containment fraction), "
+            f"got {value}"
+        )
+    return value
+
+
+def sketch_bytes(num_sequences: int, size: int = SKETCH_SIZE_DEFAULT) -> int:
+    """Upper bound on sketch storage for a database (sizing helper)."""
+    return num_sequences * size * 8

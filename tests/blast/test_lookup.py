@@ -48,6 +48,32 @@ class TestKmerCodes:
         same = np.array_equal(w0, w5)
         assert (packed[0] == packed[5]) == same
 
+    @pytest.mark.parametrize("k", [1, 2, 11, 21, 31])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matches_windowed_matmul_reference(self, k, seed):
+        """Horner's-rule packing == the old (n × k) window-matmul packing,
+        bit for bit, valid mask included — across k and with N runs."""
+        rng = np.random.default_rng(seed)
+        codes = random_bases(rng, 500)
+        # Sprinkle invalid-sentinel bases so both paths mask windows.
+        bad_at = rng.choice(codes.shape[0], size=10, replace=False)
+        codes = codes.copy()
+        codes[bad_at] = 255
+
+        windows = np.lib.stride_tricks.sliding_window_view(codes, k)
+        bad = codes >= 4
+        ref_valid = ~np.lib.stride_tricks.sliding_window_view(bad, k).any(axis=1)
+        weights = (4 ** np.arange(k - 1, -1, -1)).astype(np.int64)
+        ref_packed = np.where(
+            np.lib.stride_tricks.sliding_window_view(bad, k),
+            np.int64(0),
+            windows.astype(np.int64),
+        ) @ weights
+
+        packed, valid = kmer_codes(codes, k)
+        assert np.array_equal(valid, ref_valid)
+        assert np.array_equal(packed, ref_packed)
+
 
 class TestQueryIndex:
     def test_matches_brute_force(self):

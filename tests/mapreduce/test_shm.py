@@ -214,6 +214,75 @@ class TestPlane:
         assert plane.handle.plane_id not in shm_mod._LIVE_PLANES
 
 
+class TestPlaneSketches:
+    """The optional fourth segment: per-sequence bottom-k sketches."""
+
+    def test_view_sketches_match_in_process(self, db):
+        from repro.sketch import KmerSketch
+
+        with SharedDatabasePlane.create(db, K) as plane:
+            assert plane.handle.has_sketches
+            view = attach_view(plane.handle)
+            assert view.has_sketches
+            for rec in db:
+                got = view.sequence_sketch(rec.seq_id)
+                ref = KmerSketch.from_codes(rec.codes, K, plane.handle.sketch_size)
+                assert np.array_equal(got.hashes, ref.hashes)
+                assert got.threshold == ref.threshold
+            view.close()
+
+    def test_sketch_segment_in_segment_names(self, db):
+        with SharedDatabasePlane.create(db, K) as plane:
+            assert plane.handle.sketch_segment is not None
+            assert plane.handle.sketch_segment in plane.handle.segment_names
+            assert len(plane.handle.segment_names) == 4
+
+    def test_sketch_size_zero_omits_segment(self, db):
+        with SharedDatabasePlane.create(db, K, sketch_size=0) as plane:
+            assert not plane.handle.has_sketches
+            assert plane.handle.sketch_segment is None
+            assert len(plane.handle.segment_names) == 3
+            view = attach_view(plane.handle)
+            assert not view.has_sketches
+            with pytest.raises(SharedMemoryUnavailable):
+                view.sequence_sketch(next(iter(db)).seq_id)
+            view.close()
+
+    def test_handle_with_sketches_pickles(self, db):
+        import pickle
+
+        with SharedDatabasePlane.create(db, K) as plane:
+            back = pickle.loads(pickle.dumps(plane.handle))
+            assert back == plane.handle
+            assert back.has_sketches
+            assert back.sketch_thresholds == plane.handle.sketch_thresholds
+
+    def test_old_style_handle_defaults_to_no_sketches(self, db):
+        """Handles pickled before the sketch segment existed (or built
+        without one) must keep working and report no sketches."""
+        handle = shm_mod.SharedDatabaseHandle(
+            plane_id="old",
+            db_name=db.name,
+            k=K,
+            seq_ids=("a",),
+            descriptions=("",),
+            codes_segment="x",
+            codes_offsets=(0, 1),
+            kmer_keys_segment="y",
+            kmer_positions_segment="z",
+            kmer_offsets=(0, 0),
+        )
+        assert not handle.has_sketches
+        assert len(handle.segment_names) == 3
+
+    def test_no_segments_leak(self, db):
+        before = _psm_segments()
+        plane = SharedDatabasePlane.create(db, K)
+        assert len(_psm_segments() - before) == 4
+        plane.release()
+        assert _psm_segments() <= before
+
+
 class TestLeakOnExit:
     def test_no_orphan_segments_after_normal_interpreter_exit(self, db, tmp_path):
         """A script that builds a plane and *forgets* to release it must
@@ -236,7 +305,7 @@ class TestLeakOnExit:
             capture_output=True, text=True, env=env, check=True,
         )
         names = [n for n in out.stdout.splitlines() if n]
-        assert len(names) == 3
+        assert len(names) == 4  # codes + kmer keys + kmer positions + sketches
         assert not any(segment_exists(n) for n in names)
         assert "Traceback" not in out.stderr
 

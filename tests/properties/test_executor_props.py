@@ -67,6 +67,7 @@ def run_orion(
     strands="plus",
     shared_db=None,
     shuffle="barrier",
+    prune_threshold=None,
 ):
     search = OrionSearch(
         database=db,
@@ -78,6 +79,7 @@ def run_orion(
         num_workers=2,
         shuffle=shuffle,
         shared_db=shared_db,
+        prune_threshold=prune_threshold,
     )
     try:
         return search.run(query)
@@ -125,6 +127,67 @@ class TestOrionExecutorEquivalence:
             tiny_db, tiny_query, "processes", use_streaming, strands, shared_db=False
         )
         assert canonical(pickled.alignments) == canonical(serial.alignments)
+
+
+@pytest.mark.parametrize("strands", ["plus", "both"])
+class TestPruningEquivalence:
+    """Threshold-0 pruning probes every (fragment × shard) pair but keeps
+    them all — so it must be byte-identical to never probing, on every
+    executor, both strands, shared plane on and off. This is the safety
+    rail under ``prune_threshold``: the probe machinery itself cannot
+    perturb results; only the keep/skip decision can (gated separately by
+    ``benchmarks/bench_pruning.py``)."""
+
+    def test_serial_threshold_zero_identical(self, tiny_db, tiny_query, strands):
+        base = run_orion(tiny_db, tiny_query, "serial", strands=strands)
+        zero = run_orion(
+            tiny_db, tiny_query, "serial", strands=strands, prune_threshold=0.0
+        )
+        assert canonical(zero.alignments) == canonical(base.alignments)
+        assert zero.num_work_units == base.num_work_units
+        assert zero.pruned_map_tasks == 0
+        assert zero.shards_pruned == 0
+        assert len(base.alignments) > 0
+
+    def test_threads_threshold_zero_identical(self, tiny_db, tiny_query, strands):
+        base = run_orion(tiny_db, tiny_query, "serial", strands=strands)
+        zero = run_orion(
+            tiny_db, tiny_query, "threads", strands=strands, prune_threshold=0.0
+        )
+        assert canonical(zero.alignments) == canonical(base.alignments)
+
+    def test_processes_shm_threshold_zero_identical(
+        self, tiny_db, tiny_query, strands
+    ):
+        """Shared plane on: the sketch index merges the plane's prebuilt
+        per-sequence sketches — results still identical."""
+        pytest.importorskip("multiprocessing.shared_memory")
+        base = run_orion(tiny_db, tiny_query, "serial", strands=strands)
+        zero = run_orion(
+            tiny_db,
+            tiny_query,
+            "processes",
+            strands=strands,
+            shared_db=True,
+            prune_threshold=0.0,
+        )
+        assert canonical(zero.alignments) == canonical(base.alignments)
+        assert zero.pruned_map_tasks == 0
+
+    def test_processes_pickled_threshold_zero_identical(
+        self, tiny_db, tiny_query, strands
+    ):
+        """Shared plane off: the in-process sketch path — still identical."""
+        base = run_orion(tiny_db, tiny_query, "serial", strands=strands)
+        zero = run_orion(
+            tiny_db,
+            tiny_query,
+            "processes",
+            strands=strands,
+            shared_db=False,
+            prune_threshold=0.0,
+        )
+        assert canonical(zero.alignments) == canonical(base.alignments)
 
 
 def test_serial_records_simulator_safe_processes_not(tiny_db, tiny_query):

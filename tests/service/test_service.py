@@ -327,3 +327,104 @@ class TestServiceEquivalence:
             assert fake.closed
 
         asyncio.run(main())
+
+
+class TestPruningService:
+    """Service-level shard pruning: config override + stats accumulation."""
+
+    @pytest.fixture(scope="class")
+    def prune_db(self):
+        return make_database(seed=311, num_sequences=16, mean_length=600, name="prndb")
+
+    @pytest.fixture(scope="class")
+    def prune_queries(self, prune_db):
+        from repro.sequence.generator import HomologySpec, make_query_with_homologies
+        from repro.sequence.mutate import MutationModel
+
+        out = []
+        for i in range(3):
+            q, _ = make_query_with_homologies(
+                400 + i,
+                length=4000,
+                database=prune_db,
+                homologies=[
+                    HomologySpec(length=400, model=MutationModel.close_homolog())
+                ],
+                seq_id=f"pq{i}",
+            )
+            out.append(q)
+        return out
+
+    def test_config_rejects_bad_threshold(self):
+        with pytest.raises(ValueError, match="prune_threshold"):
+            ServiceConfig(prune_threshold=1.5)
+
+    def test_config_threshold_overrides_searches(self, prune_db):
+        search = OrionSearch(database=prune_db, num_shards=8, fragment_length=2000)
+        assert search.prune_threshold is None
+        service = OrionService(
+            search, ServiceConfig(prune_threshold=0.02, max_inflight=1)
+        )
+
+        async def main():
+            async with service:
+                assert search.prune_threshold == 0.02
+                # warmup built the sketch index at the quiescent moment
+                assert search._sketch_index is not None
+
+        asyncio.run(main())
+
+    def test_stats_accumulate_and_results_match_direct_run(
+        self, prune_db, prune_queries
+    ):
+        threshold = 0.02
+        with OrionSearch(
+            database=prune_db,
+            num_shards=8,
+            fragment_length=2000,
+            prune_threshold=threshold,
+        ) as direct:
+            expected = {q.seq_id: direct.run(q) for q in prune_queries}
+
+        search = OrionSearch(database=prune_db, num_shards=8, fragment_length=2000)
+        service = OrionService(
+            search, ServiceConfig(prune_threshold=threshold, max_inflight=2)
+        )
+
+        async def main():
+            async with service:
+                return await asyncio.gather(
+                    *(service.submit(q) for q in prune_queries)
+                )
+
+        results = asyncio.run(main())
+        for query, result in zip(prune_queries, results):
+            want = expected[query.seq_id]
+            assert _canonical(result.alignments) == _canonical(want.alignments)
+            assert result.pruned_map_tasks == want.pruned_map_tasks
+        stats = service.stats
+        assert stats.completed == len(prune_queries)
+        assert stats.pruned_map_tasks == sum(
+            r.pruned_map_tasks for r in expected.values()
+        )
+        assert stats.shards_searched == sum(
+            r.shards_searched for r in expected.values()
+        )
+        assert stats.shards_pruned == sum(
+            r.shards_pruned for r in expected.values()
+        )
+        assert stats.pruned_map_tasks > 0
+
+    def test_stats_zero_when_pruning_off(self, prune_db, prune_queries):
+        search = OrionSearch(database=prune_db, num_shards=8, fragment_length=2000)
+        service = OrionService(search, ServiceConfig(max_inflight=2))
+
+        async def main():
+            async with service:
+                return await service.submit(prune_queries[0])
+
+        result = asyncio.run(main())
+        assert result.pruned_map_tasks == 0
+        assert service.stats.pruned_map_tasks == 0
+        assert service.stats.shards_pruned == 0
+        assert service.stats.shards_searched == 8

@@ -78,6 +78,26 @@ class TestSearch:
         empty.write_text("")
         assert main(["search", "--db", str(db_file), "--query", str(empty)]) == 2
 
+    def test_prune_threshold_zero_matches_unpruned(self, db_file, query_file, capsys):
+        """--prune-threshold 0 probes but keeps everything: identical rows."""
+        main(["search", "--db", str(db_file), "--query", str(query_file),
+              "--mode", "orion", "--fragment-length", "6000", "--shards", "4"])
+        base = capsys.readouterr().out
+        assert main(["search", "--db", str(db_file), "--query", str(query_file),
+                     "--mode", "orion", "--fragment-length", "6000",
+                     "--shards", "4", "--prune-threshold", "0"]) == 0
+        assert capsys.readouterr().out == base
+
+    def test_no_prune_overrides_threshold(self, db_file, query_file, capsys):
+        main(["search", "--db", str(db_file), "--query", str(query_file),
+              "--mode", "orion", "--fragment-length", "6000", "--shards", "4"])
+        base = capsys.readouterr().out
+        assert main(["search", "--db", str(db_file), "--query", str(query_file),
+                     "--mode", "orion", "--fragment-length", "6000",
+                     "--shards", "4", "--prune-threshold", "0.9",
+                     "--no-prune"]) == 0
+        assert capsys.readouterr().out == base
+
 
 class TestOverlap:
     def test_prints_equation_one(self, capsys):
