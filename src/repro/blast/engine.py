@@ -262,6 +262,7 @@ class BlastEngine:
                 p.x_drop_gapped,
                 absolute_drop=is_spec,
                 keep_traceback=options.keep_traceback,
+                kernel=p.dp_kernel,
             )
             if is_spec:
                 counters.speculative_extensions += 1

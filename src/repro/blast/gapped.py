@@ -5,15 +5,28 @@ in both directions. Each half is a dynamic program over rows (query) ×
 columns (subject) where only the *band* of columns scoring within ``x_drop``
 of the best score stays alive — exactly the pruning the paper describes.
 
-Every DP row is computed with vectorized NumPy. The within-row horizontal
-affine dependency — normally a sequential scan — telescopes exactly: a gap
-opened from a cell that itself ends in a horizontal gap is dominated by one
-longer gap (one ``gap_open`` instead of two), so
+Two interchangeable kernels compute each half:
+
+* ``kernel="wavefront"`` (default) — the batched kernel in
+  :mod:`repro.blast.wavefront`: substitution scores are materialized in
+  block wavefront tiles, the band advances through preallocated buffers
+  with a handful of ``out=`` NumPy calls per row, and traceback runs over a
+  dense band plane in vectorized runs. This is the production path.
+* ``kernel="rowloop"`` — the original reference implementation kept in this
+  module: one interpreter iteration per query row, each row vectorized.
+  It serves as the differential-testing oracle
+  (``tests/blast/test_gapped_diff.py`` proves the two byte-identical:
+  same scores, endpoints, and op paths, under both drop rules).
+
+Both kernels use the same telescoped identity for the within-row horizontal
+affine dependency — a gap opened from a cell that itself ends in a
+horizontal gap is dominated by one longer gap (one ``gap_open`` instead of
+two), so
 
     E[j] = max_{k<j} (base[k] − gap_open − gap_extend·(j−k))
          = cummax(base + gap_extend·k) − gap_open − gap_extend·j
 
-with ``base = max(diagonal term, vertical term)``, making the whole row two
+with ``base = max(diagonal term, vertical term)``, making a row two
 ``np.maximum.accumulate``-class passes. Property tests check this row against
 a naive scalar DP.
 
@@ -31,10 +44,14 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.blast.hsp import OP_DIAG, OP_QGAP, OP_SGAP
+from repro.blast.wavefront import wavefront_half_extension
 
 #: "Minus infinity" for integer DP cells (large enough headroom that adding
 #: substitution scores can never wrap).
 NEG_INF = np.int64(-(2**40))
+
+#: Selectable DP kernels (see module docstring).
+KERNELS = ("wavefront", "rowloop")
 
 
 @dataclass(frozen=True)
@@ -259,6 +276,46 @@ def _traceback(
     return np.array(ops[::-1], dtype=np.uint8)
 
 
+def _validate_affine(gap_open: int, gap_extend: int, x_drop: int) -> None:
+    """Reject degenerate affine parameters with a typed error.
+
+    ``gap_extend == 0`` used to reach ``gap_reach``'s ``budget // gap_extend``
+    and die with a ``ZeroDivisionError`` deep inside the DP; negative costs
+    would silently *reward* gaps. Both kernels assume a strictly positive
+    extension cost, so fail fast at the API boundary instead.
+    """
+    if gap_extend <= 0:
+        raise ValueError(f"gap_extend must be positive, got {gap_extend}")
+    if gap_open < 0:
+        raise ValueError(f"gap_open must be non-negative, got {gap_open}")
+    if x_drop < 0:
+        raise ValueError(f"x_drop must be non-negative, got {x_drop}")
+
+
+def _run_half(
+    kernel: str,
+    q: np.ndarray,
+    s: np.ndarray,
+    reward: int,
+    penalty: int,
+    gap_open: int,
+    gap_extend: int,
+    x_drop: int,
+    absolute_drop: bool,
+    keep_traceback: bool,
+) -> _HalfResult:
+    if kernel == "wavefront":
+        score, qi, sj, path = wavefront_half_extension(
+            q, s, reward, penalty, gap_open, gap_extend, x_drop,
+            absolute_drop, keep_traceback,
+        )
+        return _HalfResult(score=score, qi=qi, sj=sj, path=path)
+    return _half_extension(
+        q, s, reward, penalty, gap_open, gap_extend, x_drop,
+        absolute_drop, keep_traceback,
+    )
+
+
 def extend_gapped(
     q_codes: np.ndarray,
     s_codes: np.ndarray,
@@ -271,6 +328,7 @@ def extend_gapped(
     x_drop: int,
     absolute_drop: bool = False,
     keep_traceback: bool = True,
+    kernel: str = "wavefront",
 ) -> GappedExtension:
     """Gapped x-drop extension around the anchor pair (both directions).
 
@@ -278,18 +336,30 @@ def extend_gapped(
     half aligns the reversed prefixes; results are stitched at the anchor.
     The returned score is the sum of both halves (the anchor itself is a DP
     origin, not an aligned column, so nothing is double-counted).
+
+    ``kernel`` selects the DP implementation (see module docstring):
+    ``"wavefront"`` (batched, default) or ``"rowloop"`` (reference oracle).
+    Both produce byte-identical results.
     """
     if not (0 <= anchor_q <= q_codes.shape[0] and 0 <= anchor_s <= s_codes.shape[0]):
         raise ValueError(
             f"anchor ({anchor_q}, {anchor_s}) outside sequences "
             f"({q_codes.shape[0]}, {s_codes.shape[0]})"
         )
-    right = _half_extension(
-        q_codes[anchor_q:], s_codes[anchor_s:], reward, penalty,
+    if kernel not in KERNELS:
+        raise ValueError(f"unknown DP kernel {kernel!r}; expected one of {KERNELS}")
+    _validate_affine(gap_open, gap_extend, x_drop)
+    # Materialize the reversed prefixes once per extension: a negative-stride
+    # view would otherwise force a hidden copy inside every windowing /
+    # tile-gather operation of the DP below.
+    q_left = np.ascontiguousarray(q_codes[:anchor_q][::-1])
+    s_left = np.ascontiguousarray(s_codes[:anchor_s][::-1])
+    right = _run_half(
+        kernel, q_codes[anchor_q:], s_codes[anchor_s:], reward, penalty,
         gap_open, gap_extend, x_drop, absolute_drop, keep_traceback,
     )
-    left = _half_extension(
-        q_codes[:anchor_q][::-1], s_codes[:anchor_s][::-1], reward, penalty,
+    left = _run_half(
+        kernel, q_left, s_left, reward, penalty,
         gap_open, gap_extend, x_drop, absolute_drop, keep_traceback,
     )
     path = None

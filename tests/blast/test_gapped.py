@@ -132,6 +132,92 @@ class TestExtensionBehaviour:
         assert ext.s_span == 83
 
 
+class TestParameterValidation:
+    """Regression: degenerate affine params must fail fast with ValueError.
+
+    ``gap_extend=0`` used to reach ``budget // gap_extend`` inside the DP's
+    ``gap_reach`` and die with an uncaught ``ZeroDivisionError``.
+    """
+
+    def setup_method(self):
+        self.q = encode("ACGTACGT")
+
+    def test_zero_gap_extend_raises_value_error(self):
+        with pytest.raises(ValueError, match="gap_extend"):
+            extend_gapped(self.q, self.q, 4, 4, 1, -3, 5, 0, 15)
+
+    def test_negative_gap_extend_raises_value_error(self):
+        with pytest.raises(ValueError, match="gap_extend"):
+            extend_gapped(self.q, self.q, 4, 4, 1, -3, 5, -2, 15)
+
+    def test_negative_gap_open_raises_value_error(self):
+        with pytest.raises(ValueError, match="gap_open"):
+            extend_gapped(self.q, self.q, 4, 4, 1, -3, -1, 2, 15)
+
+    def test_negative_x_drop_raises_value_error(self):
+        with pytest.raises(ValueError, match="x_drop"):
+            extend_gapped(self.q, self.q, 4, 4, 1, -3, 5, 2, -1)
+
+    @pytest.mark.parametrize("kernel", ["rowloop", "wavefront"])
+    def test_validation_applies_to_both_kernels(self, kernel):
+        with pytest.raises(ValueError, match="gap_extend"):
+            extend_gapped(self.q, self.q, 4, 4, 1, -3, 5, 0, 15, kernel=kernel)
+
+    def test_unknown_kernel_raises_value_error(self):
+        with pytest.raises(ValueError, match="kernel"):
+            extend_gapped(self.q, self.q, 4, 4, 1, -3, 5, 2, 15, kernel="simd")
+
+    def test_zero_gap_open_is_legal(self):
+        ext = extend_gapped(self.q, self.q, 4, 4, 1, -3, 0, 2, 15)
+        assert ext.score == 8
+
+
+class TestReversedHalfMaterialization:
+    """Regression: the left half must see a contiguous reversed prefix.
+
+    ``q_codes[:anchor][::-1]`` is a negative-stride view; ``extend_gapped``
+    materializes it once per call. Same alignment either way — this pins the
+    behaviour while exercising anchors at every position of a small pair.
+    """
+
+    @pytest.mark.parametrize("kernel", ["rowloop", "wavefront"])
+    def test_every_anchor_matches_negative_stride_views(self, kernel):
+        from repro.blast.gapped import _run_half
+
+        rng = np.random.default_rng(11)
+        base = random_bases(rng, 64)
+        q, s = base.copy(), base.copy()
+        s[20] = (s[20] + 1) % 4
+        for anchor in range(0, 65, 8):
+            ext = extend_gapped(q, s, anchor, anchor, x_drop=15, kernel=kernel, **PARAMS)
+            # Reference: the pre-fix behaviour — feed the raw negative-stride
+            # reversed views straight into the half kernel.
+            left = _run_half(
+                kernel, q[:anchor][::-1], s[:anchor][::-1],
+                PARAMS["reward"], PARAMS["penalty"],
+                PARAMS["gap_open"], PARAMS["gap_extend"], 15, False, True,
+            )
+            right = _run_half(
+                kernel, q[anchor:], s[anchor:],
+                PARAMS["reward"], PARAMS["penalty"],
+                PARAMS["gap_open"], PARAMS["gap_extend"], 15, False, True,
+            )
+            assert ext.score == left.score + right.score
+            assert (ext.q_start, ext.q_end) == (anchor - left.qi, anchor + right.qi)
+            assert (ext.s_start, ext.s_end) == (anchor - left.sj, anchor + right.sj)
+            expected_path = np.concatenate([left.path[::-1], right.path])
+            assert np.array_equal(ext.path, expected_path)
+
+    def test_non_contiguous_input_accepted(self):
+        """Strided (non-contiguous) inputs work: views into larger arrays."""
+        rng = np.random.default_rng(12)
+        big = random_bases(rng, 120)
+        q = big[::2]  # stride-2 view, 60 bases
+        s = np.ascontiguousarray(q)
+        ext = extend_gapped(q, s, 30, 30, x_drop=15, **PARAMS)
+        assert ext.score == 60
+
+
 class TestAbsoluteDrop:
     def test_speculative_extends_through_deep_dip(self):
         """A dip deeper than x_drop (relative) but shallower than the

@@ -80,14 +80,29 @@ class TestUngappedProperties:
 
 
 class TestGappedProperties:
-    @given(short_dna, short_dna, seeds)
-    @settings(max_examples=40)
-    def test_traceback_score_consistency(self, q, s, seed):
+    @given(
+        short_dna,
+        short_dna,
+        seeds,
+        st.booleans(),
+        st.sampled_from(["wavefront", "rowloop"]),
+    )
+    @settings(max_examples=60)
+    def test_traceback_score_consistency(self, q, s, seed, absolute_drop, kernel):
+        """A returned path always rescores to GappedExtension.score.
+
+        This is the guardrail that catches any drift in the batched
+        traceback: it holds for both drop rules, across random anchors, and
+        for both DP kernels.
+        """
         rng = np.random.default_rng(seed)
         qc, sc = encode(q), encode(s)
         aq = int(rng.integers(0, len(q) + 1))
         as_ = int(rng.integers(0, len(s) + 1))
-        ext = extend_gapped(qc, sc, aq, as_, 1, -3, 5, 2, x_drop=12)
+        ext = extend_gapped(
+            qc, sc, aq, as_, 1, -3, 5, 2, x_drop=12,
+            absolute_drop=absolute_drop, kernel=kernel,
+        )
         assert ext.path is not None
         assert score_path(ext.path, qc, sc, ext.q_start, ext.s_start, 1, -3, 5, 2) == ext.score
 
