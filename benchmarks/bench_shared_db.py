@@ -157,3 +157,43 @@ def test_shared_plane_cuts_worker_warmup_and_rss(benchmark):
         f"{out['pickled_rss_delta_kb']:.0f} KiB -> "
         f"{out['shared_rss_delta_kb']:.0f} KiB"
     )
+
+
+def test_plane_attach_is_cheaper_than_create(benchmark):
+    """Second-session attach must cost a small fraction of first-session
+    create: the registry's whole point is that replicas sharing a host skip
+    re-publishing the database and pay only verification + a lease slot."""
+    db = make_database(seed=442, num_sequences=32, mean_length=100_000)
+
+    def experiment():
+        shm_mod.reap_orphan_planes()
+        t0 = time.perf_counter()
+        creator = shm_mod.PlaneRegistry.attach_or_create(db, 11)
+        create_s = time.perf_counter() - t0
+        assert creator.created
+        try:
+            attach_times = []
+            for _ in range(5):
+                t0 = time.perf_counter()
+                lease = shm_mod.PlaneRegistry.attach_or_create(db, 11)
+                attach_times.append(time.perf_counter() - t0)
+                assert not lease.created
+                lease.release()
+        finally:
+            creator.release()
+        return {
+            "database_bp": sum(len(rec) for rec in db),
+            "create_s": create_s,
+            "attach_mean_s": sum(attach_times) / len(attach_times),
+        }
+
+    out = run_once(benchmark, experiment)
+    benchmark.extra_info.update(out)
+    print(
+        f"\nplane lifecycle over {out['database_bp']} bp: create "
+        f"{out['create_s']:.3f}s, verified attach {out['attach_mean_s']:.4f}s"
+    )
+    assert out["attach_mean_s"] < 0.5 * out["create_s"], (
+        "integrity-verified attach should cost well under half a create: "
+        f"{out['create_s']:.3f}s vs {out['attach_mean_s']:.3f}s"
+    )

@@ -23,13 +23,17 @@ from repro.analysis.rules.mapreduce_rules import (
     TaskCallableMutationRule,
     TaskCallablePicklableRule,
 )
-from repro.analysis.rules.resource_rules import SharedMemoryLifecycleRule
+from repro.analysis.rules.resource_rules import (
+    PlaneLeaseLifecycleRule,
+    SharedMemoryLifecycleRule,
+)
 from repro.analysis.rules.robustness_rules import RetryBackoffRule
 
 __all__ = [
     "BareExceptRule",
     "LiteralMeasurementRule",
     "MutableDefaultRule",
+    "PlaneLeaseLifecycleRule",
     "RetryBackoffRule",
     "SharedMemoryLifecycleRule",
     "TaskCallableMutationRule",
@@ -52,4 +56,5 @@ def default_rules() -> List[Rule]:
         LiteralMeasurementRule(),
         SharedMemoryLifecycleRule(),
         RetryBackoffRule(),
+        PlaneLeaseLifecycleRule(),
     ]

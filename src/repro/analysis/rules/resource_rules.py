@@ -1,4 +1,4 @@
-"""ORL008 — shared-memory segments must have a paired release path.
+"""ORL008/ORL010 — acquired machine resources need a paired release path.
 
 A ``multiprocessing.shared_memory.SharedMemory`` object owns two distinct
 resources: the process-local mapping (released by ``close()``) and the
@@ -8,7 +8,15 @@ attaches a segment and then raises leaks the mapping for the process
 lifetime and, on the create side, the segment for the *machine* lifetime.
 The shared-database plane (:mod:`repro.mapreduce.shm`) therefore funnels
 every raw ``SharedMemory`` call through helpers whose failure paths pair
-the call with ``close``/``unlink``; this rule keeps it that way.
+the call with ``close``/``unlink``; ORL008 keeps it that way.
+
+Plane *leases* (ORL010) have the same shape one level up: a
+``PlaneRegistry.attach_or_create`` call claims a slot in the machine-wide
+lease registry, and a scope that acquires a lease and raises before
+releasing it leaves a stale slot that only the orphan reaper will ever
+reclaim — correctness survives, but the plane outlives its holders until
+the next reap. Both rules share one scope-accounting engine and differ
+only in what counts as an acquisition and what counts as a release.
 """
 
 from __future__ import annotations
@@ -19,44 +27,18 @@ from typing import Iterator, List, Set, Tuple
 from repro.analysis.engine import FileContext, Rule
 from repro.analysis.findings import Severity
 
-#: Method names that release a SharedMemory resource.
-_RELEASE_METHODS = ("close", "unlink")
-
-
-def _is_shared_memory_call(node: ast.AST) -> bool:
-    """Whether ``node`` is a call of ``SharedMemory(...)`` (any spelling)."""
-    if not isinstance(node, ast.Call):
-        return False
-    func = node.func
-    if isinstance(func, ast.Name):
-        return func.id == "SharedMemory"
-    if isinstance(func, ast.Attribute):
-        return func.attr == "SharedMemory"
-    return False
-
-
-def _calls_release_method(nodes: List[ast.stmt]) -> bool:
-    """Whether any statement calls ``<something>.close()`` or ``.unlink()``."""
-    for stmt in nodes:
-        for node in ast.walk(stmt):
-            if (
-                isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
-                and node.func.attr in _RELEASE_METHODS
-            ):
-                return True
-    return False
-
 
 class SharedMemoryLifecycleRule(Rule):
     """ORL008: SharedMemory create/attach needs a paired close/unlink.
 
-    A ``SharedMemory(...)`` call is accepted when it is the context
-    expression of a ``with`` statement, or when its enclosing function (or
-    module toplevel) contains a ``try``/``finally`` whose ``finally`` calls
-    ``.close()`` or ``.unlink()`` — the shapes under which an exception
-    between acquire and release cannot leak the segment. Anything else is
-    an unpaired acquisition.
+    An acquisition call is accepted when it is the context expression of a
+    ``with`` statement, or when its enclosing function (or module
+    toplevel) contains a ``try``/``finally`` whose ``finally`` calls a
+    release method — the shapes under which an exception between acquire
+    and release cannot leak the segment. Anything else is an unpaired
+    acquisition. Subclasses redefine what acquires and what releases; the
+    scope accounting (per-def, ``with``-guard, release-``finally``) is
+    shared.
     """
 
     rule_id = "ORL008"
@@ -67,6 +49,49 @@ class SharedMemoryLifecycleRule(Rule):
         "a release path that runs on failure too, or /dev/shm leaks"
     )
 
+    #: Method names (``obj.<name>()``) that release the resource.
+    release_methods: Tuple[str, ...] = ("close", "unlink")
+    #: Bare function names (``<name>()``) that release the resource.
+    release_functions: Tuple[str, ...] = ()
+    #: The finding message for an unpaired acquisition.
+    message = (
+        "SharedMemory acquired without a paired close/unlink in "
+        "a finally or context manager; use the "
+        "repro.mapreduce.shm helpers or add a try/finally"
+    )
+
+    def _is_acquisition(self, node: ast.AST) -> bool:
+        """Whether ``node`` is a call of ``SharedMemory(...)`` (any spelling)."""
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id == "SharedMemory"
+        if isinstance(func, ast.Attribute):
+            return func.attr == "SharedMemory"
+        return False
+
+    def _releases(self, nodes: List[ast.stmt]) -> bool:
+        """Whether any statement calls a release method or function."""
+        for stmt in nodes:
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in self.release_methods
+                ):
+                    return True
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in self.release_functions
+                ):
+                    return True
+        return False
+
+    # -- scope accounting (shared by subclasses) ------------------------ #
+
     def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
         yield from self._check_scope(ctx.tree.body)
 
@@ -75,11 +100,11 @@ class SharedMemoryLifecycleRule(Rule):
 
         Pairing is judged per scope: a ``finally`` in a *caller* cannot
         guard an acquisition made inside a function that returns the
-        segment, so each def is its own accounting unit.
+        resource, so each def is its own accounting unit.
         """
         with_guarded = self._with_context_calls(body)
         has_release_finally = any(
-            isinstance(node, ast.Try) and _calls_release_method(node.finalbody)
+            isinstance(node, ast.Try) and self._releases(node.finalbody)
             for stmt in body
             for node in self._walk_scope(stmt)
         )
@@ -88,26 +113,20 @@ class SharedMemoryLifecycleRule(Rule):
                 if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                     yield from self._check_scope(node.body)
                     continue
-                if not _is_shared_memory_call(node):
+                if not self._is_acquisition(node):
                     continue
                 if id(node) in with_guarded or has_release_finally:
                     continue
-                yield (
-                    node.lineno,
-                    node.col_offset,
-                    "SharedMemory acquired without a paired close/unlink in "
-                    "a finally or context manager; use the "
-                    "repro.mapreduce.shm helpers or add a try/finally",
-                )
+                yield (node.lineno, node.col_offset, self.message)
 
     def _with_context_calls(self, body: List[ast.stmt]) -> Set[int]:
-        """ids of SharedMemory calls used directly as ``with`` contexts."""
+        """ids of acquisition calls used directly as ``with`` contexts."""
         guarded: Set[int] = set()
         for stmt in body:
             for node in self._walk_scope(stmt):
                 if isinstance(node, (ast.With, ast.AsyncWith)):
                     for item in node.items:
-                        if _is_shared_memory_call(item.context_expr):
+                        if self._is_acquisition(item.context_expr):
                             guarded.add(id(item.context_expr))
         return guarded
 
@@ -127,3 +146,48 @@ class SharedMemoryLifecycleRule(Rule):
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
             stack.extend(ast.iter_child_nodes(node))
+
+
+class PlaneLeaseLifecycleRule(SharedMemoryLifecycleRule):
+    """ORL010: a plane lease acquisition needs a paired release/reap.
+
+    ``PlaneRegistry.attach_or_create(...)`` claims a lease slot in the
+    machine-wide plane registry. A scope that acquires one and can raise
+    before releasing leaves a stale slot behind — harmless eventually (the
+    orphan reaper validates liveness), but it delays the plane's unlink
+    until the next reap and wastes a slot until then. Accepted shapes
+    mirror ORL008: the lease as a ``with`` context, or a ``finally`` in
+    the same scope calling ``release``/``close``/``destroy`` or one of the
+    reap entry points. Long-lived owners that hand the lease to an object
+    released elsewhere (e.g. ``OrionSearch._ensure_plane`` → ``close``)
+    carry a per-line waiver naming that path.
+    """
+
+    rule_id = "ORL010"
+    title = "plane lease acquired without paired release/reap"
+    severity = Severity.ERROR
+    invariant = (
+        "every plane lease claimed in a scope must have a release path "
+        "that runs on failure too, or the slot stays stale until the "
+        "next orphan reap"
+    )
+
+    #: Calls (bare name or attribute) that acquire a lease.
+    acquisition_names: Tuple[str, ...] = ("attach_or_create",)
+    release_methods = ("release", "close", "destroy", "unlink")
+    release_functions = ("reap_orphan_planes",)
+    message = (
+        "plane lease acquired without a paired release in a finally or "
+        "context manager; release() the lease, use it as a context "
+        "manager, or justify the ownership transfer with a waiver"
+    )
+
+    def _is_acquisition(self, node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id in self.acquisition_names
+        if isinstance(func, ast.Attribute):
+            return func.attr in self.acquisition_names
+        return False

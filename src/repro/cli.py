@@ -16,6 +16,10 @@ Commands
     ``--breaker-*`` tune overload behaviour).
 ``overlap``
     Print the Eq.-1 fragment overlap for a query/database size pairing.
+``plane``
+    Inspect (``plane ls``) or reclaim (``plane reap``) the machine's
+    shared database planes — the lease-registry ``/dev/shm`` segments
+    sessions and service replicas share (``repro.mapreduce.shm``).
 ``experiment``
     Regenerate one of the paper's tables/figures (fig3, fig8, table3,
     fig9, fig10, fig11, largedb, accuracy).
@@ -262,6 +266,45 @@ def _cmd_overlap(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plane_ls(args: argparse.Namespace) -> int:
+    from repro.mapreduce.shm import list_planes
+
+    planes = list_planes()
+    if not planes:
+        print("no shared database planes on this machine")
+        return 0
+    for status in planes:
+        state = "healthy" if status.healthy else "UNHEALTHY"
+        holders = (
+            ",".join(str(pid) for pid in status.live_pids)
+            if status.live_pids
+            else "none (reapable)"
+        )
+        db = status.db_name if status.db_name is not None else "?"
+        k = status.k if status.k is not None else "?"
+        print(
+            f"{status.digest}  {state}  db={db} k={k} "
+            f"gen={status.generation}  segments={status.num_segments} "
+            f"({status.total_bytes / 1e6:.1f} MB)  holders={holders} "
+            f"stale_slots={status.stale_slots}"
+        )
+        if status.detail:
+            print(f"  {status.detail}")
+    return 0
+
+
+def _cmd_plane_reap(args: argparse.Namespace) -> int:
+    from repro.mapreduce.shm import reap_orphan_planes
+
+    removed = reap_orphan_planes()
+    if removed:
+        for name in removed:
+            print(f"reaped {name}")
+    else:
+        print("nothing to reap: no orphaned plane segments")
+    return 0
+
+
 EXPERIMENTS = ("fig3", "fig8", "table3", "fig9", "fig10", "fig11", "largedb", "accuracy")
 
 
@@ -500,6 +543,19 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("name", choices=EXPERIMENTS)
     p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser(
+        "plane", help="inspect or reap the machine's shared database planes"
+    )
+    plane_sub = p.add_subparsers(dest="plane_command", required=True)
+    p_ls = plane_sub.add_parser(
+        "ls", help="list planes, their holders, and their health"
+    )
+    p_ls.set_defaults(func=_cmd_plane_ls)
+    p_reap = plane_sub.add_parser(
+        "reap", help="unlink every plane with no live leaseholder"
+    )
+    p_reap.set_defaults(func=_cmd_plane_reap)
 
     return parser
 

@@ -11,7 +11,6 @@ are small and uniform — the source of Orion's parallelism and load balance.
 
 from __future__ import annotations
 
-import hashlib
 import threading
 import warnings
 from collections import Counter
@@ -64,24 +63,6 @@ from repro.util.validation import check_positive
 _KMER_STORES: Dict[
     Tuple[str, int, str], Dict[str, Tuple[np.ndarray, np.ndarray]]
 ] = {}
-
-
-def _database_fingerprint(database: Database) -> str:
-    """A cheap stable identity for a database's content.
-
-    Hashes the name, each sequence's id and length, and a strided 64-base
-    sample of its codes — O(num_sequences) work, not O(total bases), yet two
-    databases that differ anywhere beyond a handful of point edits hash
-    apart (and id/length tables disambiguate the rest).
-    """
-    h = hashlib.sha1()
-    h.update(database.name.encode())
-    for rec in database:
-        h.update(rec.seq_id.encode())
-        h.update(str(len(rec)).encode())
-        codes = rec.codes
-        h.update(np.ascontiguousarray(codes[:: max(1, codes.shape[0] // 64)]).tobytes())
-    return h.hexdigest()
 
 
 @dataclass(frozen=True)
@@ -378,12 +359,21 @@ class OrionSearch:
         # query, and exactly one pool/plane must ever exist per search.
         self._setup_lock = threading.Lock()
         self._pool: Optional[WorkerPool] = None
-        self._plane: Optional[shm_mod.SharedDatabasePlane] = None
+        self._lease: Optional[shm_mod.PlaneLease] = None
         self._shm_handle: Optional[shm_mod.SharedDatabaseHandle] = None
         self._db_view: Optional[shm_mod.SharedDatabaseView] = None
+        # Plane lifecycle observability, stamped onto every OrionResult:
+        # "created" / "attached" after _ensure_plane wins a lease,
+        # "fallback" (with the reason) when it degrades to in-process.
+        self._plane_mode: str = ""
+        self._plane_fallback_reason: Optional[str] = None
         self.prune_threshold = validate_prune_threshold(prune_threshold)
         self._sketch_index: Optional[ShardSketchIndex] = None
-        self._db_key = (database.name, self.params.k, _database_fingerprint(database))
+        self._db_key = (
+            database.name,
+            self.params.k,
+            shm_mod.database_fingerprint(database),
+        )
         if aggregation_mode not in ("research", "splice"):
             raise ValueError(
                 f"aggregation_mode must be 'research' or 'splice', got {aggregation_mode!r}"
@@ -451,32 +441,52 @@ class OrionSearch:
         return True
 
     def _ensure_plane(self) -> None:
-        """Create the shared database plane on first (process-backed) use.
+        """Lease the machine-wide plane on first (process-backed) use.
+
+        Goes through :meth:`shm.PlaneRegistry.attach_or_create`, so two
+        searches (or service replicas) for the same database on one host
+        share a single set of segments, and a crashed previous session's
+        orphans are reaped on the way in. Degrades to the in-process
+        database path — never fails the query — when the plane is corrupt
+        while other holders pin it, all lease slots are taken, or shm is
+        unusable; the reason is stamped onto every subsequent result.
 
         Thread-safe: concurrent :meth:`run` calls race to first use and
-        exactly one plane may exist (a loser's duplicate would leak its
-        shared-memory segments).
+        exactly one lease may be held per search (a loser's duplicate
+        would double-count the slot table).
         """
-        if self._plane is not None or not self._shared_db_enabled():
+        if self._lease is not None or not self._shared_db_enabled():
             return
         with self._setup_lock:
-            if self._plane is not None or not self._shared_db_enabled():
+            if self._lease is not None or not self._shared_db_enabled():
                 return
             try:
-                plane = shm_mod.SharedDatabasePlane.create(
-                    self.database, self.params.k
+                # Held on self for the search's lifetime; close() releases.
+                lease = shm_mod.PlaneRegistry.attach_or_create(  # orionlint: disable=ORL010
+                    self.database,
+                    self.params.k,
+                    injector=self.fault_injector,
                 )
-            except (OSError, shm_mod.SharedMemoryUnavailable) as exc:
+            except (
+                shm_mod.PlaneCorruptError,
+                shm_mod.PlaneBusyError,
+                shm_mod.SharedMemoryUnavailable,
+                OSError,
+            ) as exc:
                 warnings.warn(
-                    f"could not build the shared database plane ({exc}); "
+                    f"could not lease the shared database plane ({exc}); "
                     f"falling back to pickling the database per worker",
                     RuntimeWarning,
                     stacklevel=3,
                 )
                 self.shared_db = False
+                self._plane_mode = "fallback"
+                self._plane_fallback_reason = f"{type(exc).__name__}: {exc}"
                 return
-            self._shm_handle = plane.handle
-            self._plane = plane
+            self._shm_handle = lease.handle
+            self._lease = lease
+            self._plane_mode = "created" if lease.created else "attached"
+            self._plane_fallback_reason = None
 
     def _ensure_sketch_index(self) -> ShardSketchIndex:
         """Build the per-shard sketch index on first pruned ``prepare``.
@@ -497,8 +507,8 @@ class OrionSearch:
                 return self._sketch_index
             sequence_sketch = None
             view: Optional[shm_mod.SharedDatabaseView] = None
-            if self._plane is not None and self._plane.handle.has_sketches:
-                view = self._plane.view()
+            if self._shm_handle is not None and self._shm_handle.has_sketches:
+                view = shm_mod.attach_view(self._shm_handle)
                 sequence_sketch = view.sequence_sketch
             try:
                 self._sketch_index = ShardSketchIndex.build(
@@ -562,7 +572,7 @@ class OrionSearch:
         state = self.__dict__.copy()
         state["executor"] = None
         state["_pool"] = None
-        state["_plane"] = None
+        state["_lease"] = None  # leases are per-process claims, never shipped
         state["_db_view"] = None
         state["_sketch_index"] = None  # driver-side; workers never prepare()
         state["_setup_lock"] = None  # locks don't pickle; workers get a fresh one
@@ -585,19 +595,23 @@ class OrionSearch:
             self.shards = shard_database(self.database, self._num_shards)
 
     def close(self) -> None:
-        """Release the worker pool and the shared plane (idempotent).
+        """Release the worker pool and the plane lease (idempotent).
 
         The next :meth:`run` transparently rebuilds both; use the search as
-        a context manager for prompt cleanup in many-query scripts.
+        a context manager for prompt cleanup in many-query scripts. If this
+        process held the plane's last live lease, releasing it unlinks the
+        segments machine-wide (see :class:`shm.PlaneLease`).
         """
         with self._setup_lock:
             pool, self._pool = self._pool, None
-            plane, self._plane = self._plane, None
+            lease, self._lease = self._lease, None
             self._shm_handle = None
+            self._plane_mode = ""
+            self._plane_fallback_reason = None
         if pool is not None:
             pool.shutdown()
-        if plane is not None:
-            plane.release()
+        if lease is not None:
+            lease.release()
 
     def __enter__(self) -> "OrionSearch":
         return self
@@ -857,6 +871,10 @@ class OrionSearch:
             shards_searched=plan.shards_searched,
             shards_pruned=plan.shards_pruned,
             pruned_map_tasks=plan.pruned_map_tasks,
+            plane_created=1 if self._plane_mode == "created" else 0,
+            plane_attached=1 if self._plane_mode == "attached" else 0,
+            plane_fallback=1 if self._plane_mode == "fallback" else 0,
+            plane_fallback_reason=self._plane_fallback_reason,
         )
         if cluster is not None:
             result.schedule = self.simulate(result, cluster)

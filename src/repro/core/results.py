@@ -90,6 +90,16 @@ class OrionResult:
     shards_searched: int = 0
     shards_pruned: int = 0
     pruned_map_tasks: int = 0
+    #: Shared-plane lifecycle accounting (see ``repro.mapreduce.shm``):
+    #: whether this search's process published the machine-wide plane,
+    #: attached to one another process published, or fell back to the
+    #: in-process database path (``plane_fallback_reason`` says why —
+    #: corruption, slot exhaustion, shm unavailable). One of the three is 1
+    #: for a process-backed search; all 0 for in-process executors.
+    plane_created: int = 0
+    plane_attached: int = 0
+    plane_fallback: int = 0
+    plane_fallback_reason: Optional[str] = None
 
     def __len__(self) -> int:
         return len(self.alignments)
@@ -145,6 +155,10 @@ class OrionResult:
             shards_searched=self.shards_searched,
             shards_pruned=self.shards_pruned,
             pruned_map_tasks=self.pruned_map_tasks,
+            plane_created=self.plane_created,
+            plane_attached=self.plane_attached,
+            plane_fallback=self.plane_fallback,
+            plane_fallback_reason=self.plane_fallback_reason,
         )
 
     def total_measured_seconds(self) -> float:

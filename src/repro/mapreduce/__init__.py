@@ -27,11 +27,18 @@ from repro.mapreduce.runtime import (
 )
 from repro.mapreduce.shm import (
     HAVE_SHARED_MEMORY,
+    PlaneBusyError,
+    PlaneCorruptError,
+    PlaneLease,
+    PlaneRegistry,
+    PlaneStatus,
     SharedDatabaseHandle,
     SharedDatabasePlane,
     SharedDatabaseView,
     attach_cached_view,
     attach_view,
+    list_planes,
+    reap_orphan_planes,
 )
 from repro.mapreduce.storage import BlockStore, StoredFile
 from repro.mapreduce.streaming import run_streaming_job
@@ -53,11 +60,18 @@ __all__ = [
     "WorkerPool",
     "resolve_executor",
     "HAVE_SHARED_MEMORY",
+    "PlaneBusyError",
+    "PlaneCorruptError",
+    "PlaneLease",
+    "PlaneRegistry",
+    "PlaneStatus",
     "SharedDatabaseHandle",
     "SharedDatabasePlane",
     "SharedDatabaseView",
     "attach_cached_view",
     "attach_view",
+    "list_planes",
+    "reap_orphan_planes",
     "BlockStore",
     "StoredFile",
     "run_streaming_job",

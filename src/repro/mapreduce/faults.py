@@ -37,6 +37,13 @@ from repro.util.rng import RngStream
 #: Fault kinds the injector understands (see :class:`FaultSpec`).
 FAULT_KINDS = ("crash", "hang", "transient", "shm")
 
+#: Fault kinds valid for the ``plane`` pseudo-phase: lifecycle faults the
+#: plane registry consults at its attach/create/publish/claim points.
+PLANE_FAULT_KINDS = ("crash", "corrupt-segment", "stale-lease")
+
+#: Lifecycle points the plane registry fires (see FaultSpec ``point``).
+PLANE_FAULT_POINTS = ("attach", "create", "publish", "claim")
+
 #: Matches any task index / attempt number in a :class:`FaultSpec`.
 ANY = -1
 
@@ -107,6 +114,20 @@ class FaultSpec:
         Seconds to wait before firing (all kinds). Lets a crash be timed
         past the commit of its wave-mates so exactly one task is in flight
         when the pool breaks.
+
+    Plane lifecycle faults
+    ----------------------
+    ``phase="plane"`` addresses the plane registry rather than a task:
+    ``point`` selects one of its lifecycle points (``attach``, ``create``,
+    ``publish``, ``claim``; ``None`` wildcards), and ``kind`` must be one
+    of :data:`PLANE_FAULT_KINDS` — ``crash`` (``os._exit(13)`` at the
+    point, simulating a SIGKILLed holder; at ``publish`` the data segments
+    exist but the registry does not, the nastiest orphan shape),
+    ``corrupt-segment`` (scribble a data segment head just before
+    verification, which must then raise ``PlaneCorruptError``) or
+    ``stale-lease`` (record a live pid with a dead process's start time,
+    which liveness validation must reject). ``index``/``attempt`` are
+    ignored for plane faults.
     """
 
     phase: str
@@ -115,8 +136,23 @@ class FaultSpec:
     attempt: int = ANY
     delay: float = 0.0
     hang_seconds: float = 30.0
+    point: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.phase == "plane":
+            if self.kind not in PLANE_FAULT_KINDS:
+                raise ValueError(
+                    f"plane fault kind must be one of {PLANE_FAULT_KINDS}, "
+                    f"got {self.kind!r}"
+                )
+            if self.point is not None and self.point not in PLANE_FAULT_POINTS:
+                raise ValueError(
+                    f"plane fault point must be one of {PLANE_FAULT_POINTS} "
+                    f"or None, got {self.point!r}"
+                )
+            return
+        if self.point is not None:
+            raise ValueError("point is only valid for phase='plane' faults")
         if self.phase not in ("map", "reduce"):
             raise ValueError(f"phase must be 'map' or 'reduce', got {self.phase!r}")
         if self.kind not in FAULT_KINDS:
@@ -216,6 +252,34 @@ class FaultInjector:
             raise OSError(
                 f"injected shm fault at {phase}/{index} attempt {attempt}"
             )
+
+    # -- plane lifecycle faults ---------------------------------------- #
+
+    def plane_fault(self, point: str) -> Optional[FaultSpec]:
+        """The plane fault (if any) addressed to this lifecycle point."""
+        for spec in self.specs:
+            if spec.phase == "plane" and spec.point in (None, point):
+                return spec
+        return None
+
+    def fire_plane(self, point: str) -> Optional[FaultSpec]:
+        """Execute the plane fault for ``point``; returns the spec fired.
+
+        Called by :class:`repro.mapreduce.shm.PlaneRegistry` at its
+        lifecycle points. ``crash`` kills the process here; the other kinds
+        are enacted registry-side (corruption and lease scribbling need the
+        registry's own segment handles), so the spec is returned for it.
+        """
+        spec = self.plane_fault(point)
+        if spec is None:
+            return None
+        if spec.delay > 0.0:
+            # Fault timing, not a backoff: the delay is part of the fault
+            # (e.g. die only after a racing attacher has seen the plane).
+            time.sleep(spec.delay)  # orionlint: disable=ORL009
+        if spec.kind == "crash":
+            os._exit(13)
+        return spec
 
 
 def _default_sleep(seconds: float) -> None:

@@ -28,20 +28,51 @@ Lifecycle (create → attach → detach → unlink)
   is killed outright, the stdlib resource tracker (which still holds the
   creator-side registration) reclaims them.
 
+Cross-process lifecycle (the plane registry)
+--------------------------------------------
+:class:`SharedDatabasePlane` above is *process-local*: its refcount lives in
+the creating process and a SIGKILLed creator leaks ``/dev/shm`` forever.
+:class:`PlaneRegistry` replaces that for machine-level sharing: planes get
+deterministic, fingerprint-derived segment names plus a small *lease
+registry* segment (magic, layout version, database fingerprint, generation,
+and a fixed slot table of ``(pid, process-start-time, nonce)`` leases, all
+mutated under a per-plane file lock). Independent sessions — several
+service replicas, a benchmark and a notebook — call
+:meth:`PlaneRegistry.attach_or_create` and share one set of segments; the
+**last live leaseholder** unlinks. Attachers verify integrity first (layout
+version gate, per-segment size checks, a checksum over the handle blob and
+every segment's head) and raise typed :class:`PlaneCorruptError` /
+:class:`PlaneBusyError` so callers can fall back to the in-process path.
+Crashed holders are defeated by lease validation (pid liveness plus process
+start time, so a recycled pid cannot impersonate a dead holder) and by
+:func:`reap_orphan_planes`, which sweeps every plane with no live lease —
+wired into plane creation, ``OrionService.start`` and the ``plane`` CLI.
+
+Registry-managed segments are deliberately *invisible to the stdlib
+resource tracker*: a tracker is per process tree, so session B's tracker
+would unlink segments session A still serves the moment B exits. The
+reaper, the lease table and the atexit lease drain replace that backstop.
+
 Every raw ``SharedMemory`` create/attach in this repository lives in this
-module's :func:`create_segment`/:func:`attach_segment` helpers, which pair
-the call with ``close``/``unlink`` on their failure paths — the invariant
-orionlint rule ORL008 enforces at every other call site.
+module's :func:`create_segment`/:func:`attach_segment` helpers (and the
+untracked variants below), which pair the call with ``close``/``unlink``
+on their failure paths — the invariant orionlint rule ORL008 enforces at
+every other call site.
 """
 
 from __future__ import annotations
 
 import atexit
+import hashlib
 import itertools
 import os
+import pickle
+import struct
+import tempfile
 import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -117,6 +148,78 @@ def attach_segment(name: str) -> "_shm_module.SharedMemory":
     """
     _require_shm()
     return _shm_module.SharedMemory(name=name)  # orionlint: disable=ORL008
+
+
+#: Serializes the brief resource-tracker monkeypatch the untracked helpers
+#: apply. A concurrent *tracked* attach in another thread during the window
+#: would merely skip its (idempotent, backstop-only) registration.
+_TRACKER_PATCH_LOCK = threading.Lock()
+
+
+def _noop_track(name: str, rtype: str) -> None:  # pragma: no cover - trivial
+    return None
+
+
+def attach_segment_untracked(name: str) -> "_shm_module.SharedMemory":
+    """Attach to a registry-managed segment without tracker registration.
+
+    The stdlib resource tracker is per process *tree*; registering a
+    cross-session segment here would hand this tree's tracker license to
+    unlink it at our exit, yanking the plane out from under every other
+    session still serving it. ``SharedMemory.__init__`` offers no opt-out
+    on this Python, so ``register`` is swapped for a no-op for the duration
+    of the constructor. The caller owns the paired ``close()`` (and, for
+    last-leaseholder teardown, :func:`_unlink_untracked`).
+    """
+    _require_shm()
+    from multiprocessing import resource_tracker
+
+    with _TRACKER_PATCH_LOCK:
+        original = resource_tracker.register
+        resource_tracker.register = _noop_track
+        try:
+            return _shm_module.SharedMemory(name=name)  # orionlint: disable=ORL008
+        finally:
+            resource_tracker.register = original
+
+
+def _unlink_untracked(seg: "_shm_module.SharedMemory") -> None:
+    """Unlink a registry-managed segment without a tracker unregister.
+
+    ``SharedMemory.unlink`` unconditionally unregisters the name; for a
+    segment this process never registered (untracked attach, or a create
+    already balanced by :func:`untrack_segment`) that would make the
+    tracker process print a spurious ``KeyError`` traceback.
+    """
+    from multiprocessing import resource_tracker
+
+    with _TRACKER_PATCH_LOCK:
+        original = resource_tracker.unregister
+        resource_tracker.unregister = _noop_track
+        try:
+            seg.unlink()
+        except FileNotFoundError:
+            return  # already unlinked (sweeps are idempotent)
+        finally:
+            resource_tracker.unregister = original
+
+
+def untrack_segment(seg: "_shm_module.SharedMemory") -> None:
+    """Balance a freshly *created* segment's tracker registration.
+
+    Called once right after :func:`create_segment` for registry-managed
+    segments: the create registered the name, this unregisters it, and from
+    then on no tracker in any session knows the segment exists — the lease
+    table and :func:`reap_orphan_planes` own reclamation.
+    """
+    from multiprocessing import resource_tracker
+
+    try:
+        resource_tracker.unregister(seg._name, "shared_memory")
+    except Exception:  # orionlint: disable=ORL006
+        # The tracker may already be gone (interpreter teardown) — losing
+        # the unregister is harmless; the registration is backstop-only.
+        pass
 
 
 def destroy_segment(seg: "_shm_module.SharedMemory") -> None:
@@ -345,6 +448,11 @@ class SharedDatabaseHandle:
     sketch_offsets: Tuple[int, ...] = (0,)
     sketch_thresholds: Tuple[int, ...] = ()
     sketch_size: int = 0
+    #: Name of the lease-registry segment when this plane is managed by
+    #: :class:`PlaneRegistry` (``None`` for process-local planes). Attaches
+    #: of registry-managed segments bypass the resource tracker — the lease
+    #: table plus :func:`reap_orphan_planes` own reclamation instead.
+    registry_segment: Optional[str] = None
 
     @property
     def segment_names(self) -> Tuple[str, ...]:
@@ -563,96 +671,13 @@ class SharedDatabasePlane:
         a fraction of the plane's build cost and a few KiB per sequence.
         """
         _require_shm()
-        from repro.blast.lookup import count_valid_kmers, sorted_kmers_into
-        from repro.sketch import SKETCH_SIZE_DEFAULT, KmerSketch
-
-        if sketch_size is None:
-            sketch_size = SKETCH_SIZE_DEFAULT
-        records = list(database)
-        seq_ids = tuple(r.seq_id for r in records)
-        descriptions = tuple(r.description for r in records)
-        codes_offsets = _prefix_sums(len(r) for r in records)
-        kmer_offsets = _prefix_sums(count_valid_kmers(r.codes, k) for r in records)
-
-        segments: List["_shm_module.SharedMemory"] = []
-        ok = False
-        try:
-            codes_seg = create_segment(codes_offsets[-1])
-            segments.append(codes_seg)
-            keys_seg = create_segment(kmer_offsets[-1] * 8)
-            segments.append(keys_seg)
-            pos_seg = create_segment(kmer_offsets[-1] * 8)
-            segments.append(pos_seg)
-
-            codes_arr: np.ndarray = np.ndarray(
-                (codes_offsets[-1],), dtype=np.uint8, buffer=codes_seg.buf
-            )
-            keys_arr: np.ndarray = np.ndarray(
-                (kmer_offsets[-1],), dtype=np.int64, buffer=keys_seg.buf
-            )
-            pos_arr: np.ndarray = np.ndarray(
-                (kmer_offsets[-1],), dtype=np.int64, buffer=pos_seg.buf
-            )
-            sketches: List["KmerSketch"] = []
-            for i, rec in enumerate(records):
-                codes_arr[codes_offsets[i] : codes_offsets[i + 1]] = rec.codes
-                sorted_kmers_into(
-                    rec.codes,
-                    k,
-                    keys_arr[kmer_offsets[i] : kmer_offsets[i + 1]],
-                    pos_arr[kmer_offsets[i] : kmer_offsets[i + 1]],
-                )
-                if sketch_size > 0:
-                    # Sketch straight off the keys just written — they are
-                    # already sorted, so the distinct pass is a cheap scan.
-                    sketches.append(
-                        KmerSketch.from_kmer_keys(
-                            keys_arr[kmer_offsets[i] : kmer_offsets[i + 1]],
-                            sketch_size,
-                        )
-                    )
-
-            sketch_segment: Optional[str] = None
-            sketch_offsets: Tuple[int, ...] = (0,)
-            sketch_thresholds: Tuple[int, ...] = ()
-            if sketch_size > 0:
-                sketch_offsets = _prefix_sums(s.num_hashes for s in sketches)
-                sketch_thresholds = tuple(s.threshold for s in sketches)
-                sketch_seg = create_segment(sketch_offsets[-1] * 8)
-                segments.append(sketch_seg)
-                sketch_segment = sketch_seg.name
-                sketch_arr: np.ndarray = np.ndarray(
-                    (sketch_offsets[-1],), dtype=np.uint64, buffer=sketch_seg.buf
-                )
-                for i, sk in enumerate(sketches):
-                    sketch_arr[sketch_offsets[i] : sketch_offsets[i + 1]] = sk.hashes
-                del sketch_arr
-            # Drop the creator-side array aliases so close() can unmap later.
-            del codes_arr, keys_arr, pos_arr
-
-            handle = SharedDatabaseHandle(
-                plane_id=f"plane-{os.getpid()}-{next(_PLANE_COUNTER)}",
-                db_name=database.name,
-                k=int(k),
-                seq_ids=seq_ids,
-                descriptions=descriptions,
-                codes_segment=codes_seg.name,
-                codes_offsets=codes_offsets,
-                kmer_keys_segment=keys_seg.name,
-                kmer_positions_segment=pos_seg.name,
-                kmer_offsets=kmer_offsets,
-                sketch_segment=sketch_segment,
-                sketch_offsets=sketch_offsets,
-                sketch_thresholds=sketch_thresholds,
-                sketch_size=sketch_size,
-            )
-            plane = cls(handle, segments)
-            ok = True
-            return plane
-        finally:
-            if not ok:
-                for seg in segments:
-                    destroy_segment(seg)
+        handle, segments = _publish_database_segments(
+            database,
+            k,
+            sketch_size,
+            plane_id=f"plane-{os.getpid()}-{next(_PLANE_COUNTER)}",
+        )
+        return cls(handle, segments)
 
     # -- refcounted lifecycle ------------------------------------------- #
 
@@ -676,10 +701,21 @@ class SharedDatabasePlane:
         return self
 
     def release(self) -> None:
-        """Drop one consumer; unlink the segments when none remain."""
+        """Drop one consumer; unlink the segments when none remain.
+
+        Over-releasing raises: an extra ``release()`` means some consumer's
+        accounting is wrong, and silently letting the count go negative is
+        how a plane gets destroyed while other consumers still hold it.
+        (``destroy()`` stays idempotent — it is the force path.)
+        """
         with self._lock:
+            if self._destroyed:
+                raise RuntimeError(
+                    f"plane {self.handle.plane_id} over-released: it is "
+                    f"already destroyed (refcount would go negative)"
+                )
             self._refcount -= 1
-            should_destroy = self._refcount <= 0 and not self._destroyed
+            should_destroy = self._refcount <= 0
         if should_destroy:
             self.destroy()
 
@@ -721,6 +757,123 @@ def _prefix_sums(sizes: Iterable[int]) -> Tuple[int, ...]:
     return tuple(out)
 
 
+def _publish_database_segments(
+    database: "Database",
+    k: int,
+    sketch_size: Optional[int],
+    plane_id: str,
+    segment_names: Optional[Dict[str, str]] = None,
+    registry_segment: Optional[str] = None,
+) -> Tuple[SharedDatabaseHandle, List["_shm_module.SharedMemory"]]:
+    """Build one plane's data segments and its handle (shared create path).
+
+    Two passes keep peak extra memory at one sequence's index, not the
+    whole database's: valid k-mer counts first size the segments exactly,
+    then each sequence's sorted index is built straight into its slice of
+    the shared buffers (:func:`repro.blast.lookup.sorted_kmers_into`).
+
+    ``segment_names`` pins deterministic names per segment kind (``codes``,
+    ``keys``, ``positions``, ``sketches``) — the registry path, where the
+    names must be derivable from the database fingerprint so independent
+    sessions meet at the same segments; ``None`` lets the platform pick
+    (the process-local :meth:`SharedDatabasePlane.create` path). On any
+    failure every created segment is destroyed before re-raising.
+    """
+    from repro.blast.lookup import count_valid_kmers, sorted_kmers_into
+    from repro.sketch import SKETCH_SIZE_DEFAULT, KmerSketch
+
+    if sketch_size is None:
+        sketch_size = SKETCH_SIZE_DEFAULT
+    names = segment_names or {}
+    records = list(database)
+    seq_ids = tuple(r.seq_id for r in records)
+    descriptions = tuple(r.description for r in records)
+    codes_offsets = _prefix_sums(len(r) for r in records)
+    kmer_offsets = _prefix_sums(count_valid_kmers(r.codes, k) for r in records)
+
+    segments: List["_shm_module.SharedMemory"] = []
+    ok = False
+    try:
+        codes_seg = create_segment(codes_offsets[-1], name=names.get("codes"))
+        segments.append(codes_seg)
+        keys_seg = create_segment(kmer_offsets[-1] * 8, name=names.get("keys"))
+        segments.append(keys_seg)
+        pos_seg = create_segment(kmer_offsets[-1] * 8, name=names.get("positions"))
+        segments.append(pos_seg)
+
+        codes_arr: np.ndarray = np.ndarray(
+            (codes_offsets[-1],), dtype=np.uint8, buffer=codes_seg.buf
+        )
+        keys_arr: np.ndarray = np.ndarray(
+            (kmer_offsets[-1],), dtype=np.int64, buffer=keys_seg.buf
+        )
+        pos_arr: np.ndarray = np.ndarray(
+            (kmer_offsets[-1],), dtype=np.int64, buffer=pos_seg.buf
+        )
+        sketches: List["KmerSketch"] = []
+        for i, rec in enumerate(records):
+            codes_arr[codes_offsets[i] : codes_offsets[i + 1]] = rec.codes
+            sorted_kmers_into(
+                rec.codes,
+                k,
+                keys_arr[kmer_offsets[i] : kmer_offsets[i + 1]],
+                pos_arr[kmer_offsets[i] : kmer_offsets[i + 1]],
+            )
+            if sketch_size > 0:
+                # Sketch straight off the keys just written — they are
+                # already sorted, so the distinct pass is a cheap scan.
+                sketches.append(
+                    KmerSketch.from_kmer_keys(
+                        keys_arr[kmer_offsets[i] : kmer_offsets[i + 1]],
+                        sketch_size,
+                    )
+                )
+
+        sketch_segment: Optional[str] = None
+        sketch_offsets: Tuple[int, ...] = (0,)
+        sketch_thresholds: Tuple[int, ...] = ()
+        if sketch_size > 0:
+            sketch_offsets = _prefix_sums(s.num_hashes for s in sketches)
+            sketch_thresholds = tuple(s.threshold for s in sketches)
+            sketch_seg = create_segment(
+                sketch_offsets[-1] * 8, name=names.get("sketches")
+            )
+            segments.append(sketch_seg)
+            sketch_segment = sketch_seg.name
+            sketch_arr: np.ndarray = np.ndarray(
+                (sketch_offsets[-1],), dtype=np.uint64, buffer=sketch_seg.buf
+            )
+            for i, sk in enumerate(sketches):
+                sketch_arr[sketch_offsets[i] : sketch_offsets[i + 1]] = sk.hashes
+            del sketch_arr
+        # Drop the creator-side array aliases so close() can unmap later.
+        del codes_arr, keys_arr, pos_arr
+
+        handle = SharedDatabaseHandle(
+            plane_id=plane_id,
+            db_name=database.name,
+            k=int(k),
+            seq_ids=seq_ids,
+            descriptions=descriptions,
+            codes_segment=codes_seg.name,
+            codes_offsets=codes_offsets,
+            kmer_keys_segment=keys_seg.name,
+            kmer_positions_segment=pos_seg.name,
+            kmer_offsets=kmer_offsets,
+            sketch_segment=sketch_segment,
+            sketch_offsets=sketch_offsets,
+            sketch_thresholds=sketch_thresholds,
+            sketch_size=sketch_size,
+            registry_segment=registry_segment,
+        )
+        ok = True
+        return handle, segments
+    finally:
+        if not ok:
+            for seg in segments:
+                destroy_segment(seg)
+
+
 # --------------------------------------------------------------------------- #
 # worker-side attachment
 # --------------------------------------------------------------------------- #
@@ -728,12 +881,23 @@ def _prefix_sums(sizes: Iterable[int]) -> Tuple[int, ...]:
 
 def attach_view(handle: SharedDatabaseHandle) -> SharedDatabaseView:
     """Attach a fresh zero-copy view of a plane (see also
-    :func:`attach_cached_view` for the once-per-process variant)."""
+    :func:`attach_cached_view` for the once-per-process variant).
+
+    Registry-managed planes (``handle.registry_segment`` set) attach
+    *untracked*: lease-table liveness plus the reaper own reclamation, and
+    a tracker registration here would let this process tree unlink
+    segments other sessions still serve (see the module docstring).
+    """
+    attach = (
+        attach_segment_untracked
+        if handle.registry_segment is not None
+        else attach_segment
+    )
     segments: List["_shm_module.SharedMemory"] = []
     ok = False
     try:
         for name in handle.segment_names:
-            segments.append(attach_segment(name))
+            segments.append(attach(name))
         view = SharedDatabaseView(handle, segments)
         ok = True
         return view
@@ -763,3 +927,835 @@ def detach_cached_views() -> None:
     for view in list(_ATTACHED_VIEWS.values()):  # orionlint: disable=ORL004
         view.close()
     _ATTACHED_VIEWS.clear()
+
+
+# --------------------------------------------------------------------------- #
+# the plane registry — crash-safe, cross-process plane lifecycle
+# --------------------------------------------------------------------------- #
+
+#: Bump whenever the registry header/slot layout below changes shape: an
+#: attacher seeing a different version must treat the plane as unusable
+#: (PlaneCorruptError) rather than misread its bytes.
+PLANE_LAYOUT_VERSION = 1
+
+#: First 8 bytes of every registry segment.
+PLANE_MAGIC = b"ORIONPLN"
+
+#: Fixed lease-slot table size — the most processes that can concurrently
+#: hold one plane on one machine (service replicas × sessions; generous).
+PLANE_SLOTS = 64
+
+#: Every registry-managed segment name starts with this; the reaper and the
+#: CI leak sweep key off it.
+PLANE_PREFIX = "orionplane_"
+
+#: How many leading bytes of each data segment the integrity checksum
+#: covers. Full-content checksums would cost a pass over gigabytes on every
+#: attach; the head covers each segment's densest metadata-like region and
+#: catches truncation, zeroing and layout mix-ups, which are the realistic
+#: corruption modes for a crashed publisher.
+_PLANE_HEAD_BYTES = 4096
+
+# Registry segment layout:
+#   header  : magic 8s | layout_version u32 | num_slots u32 | generation u64
+#             | fingerprint 40s (sha1 hex, ascii) | meta_sha 32s | blob_len u64
+#   slots   : PLANE_SLOTS × (pid i64 | process_start_time u64 | nonce u64)
+#   blob    : pickled SharedDatabaseHandle (blob_len bytes)
+_REG_HEADER = struct.Struct("<8sIIQ40s32sQ")
+_REG_SLOT = struct.Struct("<qQQ")
+_REG_SLOTS_OFFSET = _REG_HEADER.size
+_REG_BLOB_OFFSET = _REG_SLOTS_OFFSET + PLANE_SLOTS * _REG_SLOT.size
+
+
+class PlaneCorruptError(RuntimeError):
+    """A plane failed integrity verification at attach time.
+
+    Raised instead of silently searching bad bytes: bad magic, layout
+    version mismatch, fingerprint mismatch, truncated/undersized segments,
+    an unreadable handle blob, or a head-checksum mismatch. Callers degrade
+    to the in-process database path (``fallback_reason`` stamped on the
+    result) — the reaper rebuilds the plane once no live lease pins it.
+    """
+
+
+class PlaneBusyError(RuntimeError):
+    """Every lease slot of a plane is held by a live process."""
+
+
+def database_fingerprint(database: "Database") -> str:
+    """A cheap stable identity for a database's content.
+
+    Hashes the name, each sequence's id and length, and a strided 64-base
+    sample of its codes — O(num_sequences) work, not O(total bases), yet two
+    databases that differ anywhere beyond a handful of point edits hash
+    apart (and id/length tables disambiguate the rest). This is the key the
+    plane registry shares planes under: two sessions loading the same
+    database derive the same fingerprint, hence the same segment names.
+    """
+    h = hashlib.sha1()
+    h.update(database.name.encode())
+    for rec in database:
+        h.update(rec.seq_id.encode())
+        h.update(str(len(rec)).encode())
+        codes = rec.codes
+        h.update(np.ascontiguousarray(codes[:: max(1, codes.shape[0] // 64)]).tobytes())
+    return h.hexdigest()
+
+
+def plane_digest(fingerprint: str, k: int, sketch_size: int) -> str:
+    """The short digest that names one plane's segments and lock file.
+
+    Derived from everything that shapes the plane's bytes — database
+    fingerprint, word size, sketch size, and the layout version (so a code
+    upgrade publishes under fresh names instead of fighting an old layout).
+    """
+    key = f"{fingerprint}|{int(k)}|{int(sketch_size)}|{PLANE_LAYOUT_VERSION}"
+    return hashlib.sha256(key.encode()).hexdigest()[:16]
+
+
+def _registry_name(digest: str) -> str:
+    return f"{PLANE_PREFIX}{digest}_reg"
+
+
+@contextmanager
+def _plane_lock(digest: str) -> Iterator[None]:
+    """Exclusive per-plane advisory file lock (create/attach/reap/release).
+
+    An ``fcntl.flock`` on a digest-named file in the temp directory: the
+    slot table and the create/verify/sweep sequences mutate under it, so
+    racing attachers serialize (one creates, the rest attach) and a reaper
+    can never sweep a plane mid-publish. Platforms without ``fcntl`` fall
+    back to unlocked operation — single-process use stays correct via the
+    module locks; cross-session racing is a POSIX feature anyway.
+    """
+    try:
+        import fcntl
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        yield
+        return
+    path = os.path.join(tempfile.gettempdir(), f"{PLANE_PREFIX}{digest}.lock")
+    fd = os.open(path, os.O_CREAT | os.O_RDWR, 0o666)
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        yield
+    finally:
+        os.close(fd)  # closing the fd releases the flock
+
+
+def process_start_time(pid: int) -> int:
+    """The kernel's start time (clock ticks) for ``pid``; 0 when unknown.
+
+    Read from ``/proc/<pid>/stat`` field 22. Paired with the pid in each
+    lease slot it defeats pid reuse: a recycled pid has a different start
+    time, so a dead holder's lease can never be mistaken for live. On
+    platforms without procfs every lease records 0 and liveness falls back
+    to the pid alone.
+    """
+    try:
+        with open(f"/proc/{pid}/stat", "rb") as fh:
+            data = fh.read().decode("ascii", "replace")
+    except OSError:
+        return 0
+    try:
+        # The comm field may contain spaces/parens; split after its closer.
+        return int(data.rsplit(") ", 1)[1].split()[19])
+    except (IndexError, ValueError):
+        return 0
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other-user process
+        return True  # exists, just not ours to signal
+    return True
+
+
+def _lease_live(pid: int, start_time: int) -> bool:
+    """Whether a recorded ``(pid, start_time)`` lease names a live holder."""
+    if not _pid_alive(pid):
+        return False
+    if start_time == 0:
+        return True  # recorded without procfs: pid liveness is all we have
+    current = process_start_time(pid)
+    # A readable but different start time means the pid was recycled; an
+    # unreadable one (procfs race at exit) errs toward live — the reaper
+    # rechecks on its next pass.
+    return current == 0 or current == start_time
+
+
+def _new_nonce() -> int:
+    """A nonzero random lease nonce (os.urandom: no seeding, no state)."""
+    return int.from_bytes(os.urandom(8), "little") | 1
+
+
+@dataclass(frozen=True)
+class _RegistryHeader:
+    layout_version: int
+    num_slots: int
+    generation: int
+    fingerprint: str
+    meta_sha: bytes
+    blob_len: int
+
+
+def _read_header(reg: "_shm_module.SharedMemory") -> _RegistryHeader:
+    """Parse and gate a registry segment's header (raises PlaneCorruptError)."""
+    if reg.size < _REG_BLOB_OFFSET:
+        raise PlaneCorruptError(
+            f"registry segment {reg.name} is {reg.size} bytes — smaller than "
+            f"the {_REG_BLOB_OFFSET}-byte header+slot table"
+        )
+    magic, version, num_slots, generation, fp, meta_sha, blob_len = (
+        _REG_HEADER.unpack_from(reg.buf, 0)
+    )
+    if magic != PLANE_MAGIC:
+        raise PlaneCorruptError(
+            f"registry segment {reg.name} has bad magic {magic!r}"
+        )
+    if version != PLANE_LAYOUT_VERSION:
+        raise PlaneCorruptError(
+            f"registry segment {reg.name} has layout version {version}, "
+            f"this build reads {PLANE_LAYOUT_VERSION}"
+        )
+    if num_slots != PLANE_SLOTS:
+        raise PlaneCorruptError(
+            f"registry segment {reg.name} declares {num_slots} lease slots, "
+            f"expected {PLANE_SLOTS}"
+        )
+    if blob_len <= 0 or reg.size < _REG_BLOB_OFFSET + blob_len:
+        raise PlaneCorruptError(
+            f"registry segment {reg.name} handle blob is truncated "
+            f"({blob_len} bytes declared, {reg.size} total)"
+        )
+    return _RegistryHeader(
+        layout_version=version,
+        num_slots=num_slots,
+        generation=generation,
+        fingerprint=fp.decode("ascii", "replace").rstrip("\x00"),
+        meta_sha=meta_sha,
+        blob_len=blob_len,
+    )
+
+
+def _read_slot(reg: "_shm_module.SharedMemory", slot: int) -> Tuple[int, int, int]:
+    return _REG_SLOT.unpack_from(reg.buf, _REG_SLOTS_OFFSET + slot * _REG_SLOT.size)
+
+
+def _write_slot(
+    reg: "_shm_module.SharedMemory", slot: int, pid: int, start_time: int, nonce: int
+) -> None:
+    _REG_SLOT.pack_into(
+        reg.buf, _REG_SLOTS_OFFSET + slot * _REG_SLOT.size, pid, start_time, nonce
+    )
+
+
+def _live_slot_pids(reg: "_shm_module.SharedMemory") -> List[int]:
+    """Pids of every slot whose recorded lease passes liveness validation."""
+    pids: List[int] = []
+    for slot in range(PLANE_SLOTS):
+        pid, start_time, nonce = _read_slot(reg, slot)
+        if nonce != 0 and _lease_live(pid, start_time):
+            pids.append(pid)
+    return pids
+
+
+def _meta_sha(blob: bytes, heads: Iterable[bytes]) -> bytes:
+    h = hashlib.sha256()
+    h.update(blob)
+    for head in heads:
+        h.update(head)
+    return h.digest()
+
+
+def _expected_segment_sizes(handle: SharedDatabaseHandle) -> Dict[str, int]:
+    """Minimum byte size of each data segment (create_segment floors at 1)."""
+    sizes = {
+        handle.codes_segment: max(1, handle.total_codes),
+        handle.kmer_keys_segment: max(1, handle.total_kmers * 8),
+        handle.kmer_positions_segment: max(1, handle.total_kmers * 8),
+    }
+    if handle.sketch_segment is not None:
+        sizes[handle.sketch_segment] = max(1, handle.total_sketch_hashes * 8)
+    return sizes
+
+
+def _verify_plane(handle: SharedDatabaseHandle, meta_sha: bytes, blob: bytes) -> None:
+    """Integrity-check a plane's data segments against the registry record.
+
+    Per-segment existence and size floors (a shm segment may round up to
+    page size, never down), then the head checksum over the handle blob and
+    every segment's first :data:`_PLANE_HEAD_BYTES`. Raises
+    :class:`PlaneCorruptError`; never mutates anything.
+    """
+    expected = _expected_segment_sizes(handle)
+    h = hashlib.sha256()
+    h.update(blob)
+    for name in handle.segment_names:
+        try:
+            seg = attach_segment_untracked(name)
+        except FileNotFoundError:
+            raise PlaneCorruptError(f"plane data segment {name} is missing") from None
+        try:
+            if seg.size < expected[name]:
+                raise PlaneCorruptError(
+                    f"plane data segment {name} is {seg.size} bytes, "
+                    f"expected at least {expected[name]}"
+                )
+            h.update(bytes(seg.buf[:_PLANE_HEAD_BYTES]))
+        finally:
+            seg.close()
+    if h.digest() != meta_sha:
+        raise PlaneCorruptError(
+            f"plane {handle.plane_id} failed its header/metadata checksum — "
+            f"a segment's leading bytes differ from what the publisher recorded"
+        )
+
+
+#: Leases held (and not yet released) by this process, keyed by nonce;
+#: drained at interpreter exit like ``_LIVE_PLANES``/``_LIVE_SPILL_SETS``.
+_LIVE_LEASES: Dict[int, "PlaneLease"] = {}
+
+
+def _cleanup_live_leases() -> None:
+    # Release order is immaterial (leases are independent); the list() only
+    # guards against mutation while iterating.
+    for lease in list(_LIVE_LEASES.values()):  # orionlint: disable=ORL004
+        lease.release()
+
+
+atexit.register(_cleanup_live_leases)
+
+
+class PlaneLease:
+    """One process's claim on a registry-managed plane.
+
+    Returned by :meth:`PlaneRegistry.attach_or_create`; holds the plane's
+    :class:`SharedDatabaseHandle` plus this process's slot claim.
+    :meth:`release` clears the slot under the plane lock and — when no
+    other *live* lease remains — unlinks every segment: the
+    last-live-leaseholder-unlinks rule that replaces creator-only unlink.
+    Idempotent, atexit-drained, and fork-safe: a forked child inheriting
+    this object must not clear the parent's slot, so release in a
+    different pid only detaches.
+    """
+
+    def __init__(
+        self,
+        handle: SharedDatabaseHandle,
+        digest: str,
+        slot: int,
+        nonce: int,
+        created: bool,
+        generation: int,
+    ) -> None:
+        self.handle = handle
+        self.digest = digest
+        self.slot = slot
+        self.nonce = nonce
+        #: Whether this lease published the plane (vs. attached to one).
+        self.created = created
+        self.generation = generation
+        self._owner_pid = os.getpid()
+        self._released = False
+        _LIVE_LEASES[nonce] = self
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def release(self) -> None:
+        """Drop this claim; unlink the plane if no live leaseholder remains."""
+        if self._released:
+            return
+        self._released = True
+        _LIVE_LEASES.pop(self.nonce, None)
+        if os.getpid() != self._owner_pid:
+            return  # forked copy: the parent's slot is not ours to clear
+        if not HAVE_SHARED_MEMORY:  # pragma: no cover - platform without shm
+            return
+        last = False
+        with _plane_lock(self.digest):
+            try:
+                reg = attach_segment_untracked(_registry_name(self.digest))
+            except (FileNotFoundError, OSError):
+                return  # registry already reaped; nothing left to clear
+            try:
+                if reg.size >= _REG_BLOB_OFFSET:
+                    pid, _start, nonce = _read_slot(reg, self.slot)
+                    if pid == self._owner_pid and nonce == self.nonce:
+                        _write_slot(reg, self.slot, 0, 0, 0)
+                        last = not _live_slot_pids(reg)
+                    # else: the registry was rebuilt since (our generation
+                    # is gone) — the new plane's holders own its lifecycle.
+            finally:
+                reg.close()
+            if last:
+                _sweep_plane_segments(self.digest, extra=self.handle.segment_names)
+
+    def __enter__(self) -> "PlaneLease":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+
+def _sweep_plane_segments(digest: str, extra: Iterable[str] = ()) -> List[str]:
+    """Unlink every segment of one plane (registry included); names removed.
+
+    Caller holds the plane lock. The ``/dev/shm`` scan catches segments the
+    handle no longer names (a half-published create that died before
+    writing its registry); ``extra`` covers platforms where the scan is
+    unavailable.
+    """
+    names = {_registry_name(digest)}
+    names.update(extra)
+    try:
+        names.update(
+            entry
+            for entry in os.listdir("/dev/shm")
+            if entry.startswith(f"{PLANE_PREFIX}{digest}_")
+        )
+    except OSError:  # orionlint: disable=ORL006 # pragma: no cover
+        # No scannable /dev/shm on this platform: ``extra`` and the
+        # registry name still cover every segment a healthy handle names.
+        pass
+    removed: List[str] = []
+    for name in sorted(names):
+        try:
+            seg = attach_segment_untracked(name)
+        except (FileNotFoundError, OSError):
+            continue
+        try:
+            seg.close()
+        except BufferError:  # orionlint: disable=ORL006 # pragma: no cover
+            # A local view still aliases the mapping; it dies with the
+            # process — the name must still vanish below.
+            pass
+        _unlink_untracked(seg)
+        removed.append(name)
+    return removed
+
+
+def _plane_digests_on_machine() -> List[str]:
+    """Digests of every registry-managed plane with segments in /dev/shm."""
+    try:
+        entries = sorted(os.listdir("/dev/shm"))
+    except OSError:  # pragma: no cover - no /dev/shm on this platform
+        return []
+    digests = {
+        entry[len(PLANE_PREFIX) :].rsplit("_", 1)[0]
+        for entry in entries
+        if entry.startswith(PLANE_PREFIX) and "_" in entry[len(PLANE_PREFIX) :]
+    }
+    return sorted(digests)
+
+
+def reap_orphan_planes() -> List[str]:
+    """Sweep every plane with no live leaseholder; the names reclaimed.
+
+    The crash backstop: a SIGKILLed holder never clears its slot, and
+    untracked segments are invisible to the stdlib resource tracker, so
+    orphans persist until someone validates the lease table. Wired into
+    plane creation, ``OrionService.start`` and ``python -m repro plane
+    reap``. A plane whose registry is unreadable (bad magic, truncated) has
+    an untrustworthy slot table *and* is unusable — it is reaped too. Safe
+    against racing creators: each plane is judged under its own file lock,
+    and creators publish entirely inside that lock.
+    """
+    if not HAVE_SHARED_MEMORY:  # pragma: no cover - platform without shm
+        return []
+    removed: List[str] = []
+    for digest in _plane_digests_on_machine():
+        with _plane_lock(digest):
+            if _has_live_lease(digest):
+                continue
+            removed.extend(_sweep_plane_segments(digest))
+    return removed
+
+
+def _has_live_lease(digest: str) -> bool:
+    """Whether any validated-live lease pins this plane (lock held)."""
+    try:
+        reg = attach_segment_untracked(_registry_name(digest))
+    except (FileNotFoundError, OSError):
+        return False  # no registry at all: data segments are orphans
+    try:
+        if reg.size < _REG_BLOB_OFFSET or bytes(reg.buf[:8]) != PLANE_MAGIC:
+            return False  # unreadable slot table cannot vouch for anyone
+        return bool(_live_slot_pids(reg))
+    finally:
+        reg.close()
+
+
+@dataclass(frozen=True)
+class PlaneStatus:
+    """One machine plane as reported by :func:`list_planes` (CLI ``plane ls``)."""
+
+    digest: str
+    db_name: Optional[str]
+    k: Optional[int]
+    generation: int
+    num_segments: int
+    total_bytes: int
+    live_pids: Tuple[int, ...]
+    stale_slots: int
+    healthy: bool
+    detail: str = ""
+
+    @property
+    def reapable(self) -> bool:
+        return not self.live_pids
+
+
+def list_planes() -> List[PlaneStatus]:
+    """Inspect every registry-managed plane on this machine (read-only)."""
+    if not HAVE_SHARED_MEMORY:  # pragma: no cover - platform without shm
+        return []
+    statuses: List[PlaneStatus] = []
+    for digest in _plane_digests_on_machine():
+        prefix = f"{PLANE_PREFIX}{digest}_"
+        try:
+            entries = sorted(
+                entry for entry in os.listdir("/dev/shm") if entry.startswith(prefix)
+            )
+        except OSError:  # pragma: no cover - no /dev/shm on this platform
+            entries = []
+        total_bytes = 0
+        for entry in entries:
+            try:
+                total_bytes += os.stat(os.path.join("/dev/shm", entry)).st_size
+            except OSError:
+                continue
+        db_name: Optional[str] = None
+        k: Optional[int] = None
+        generation = 0
+        live_pids: Tuple[int, ...] = ()
+        stale_slots = 0
+        healthy = False
+        detail = ""
+        try:
+            reg = attach_segment_untracked(_registry_name(digest))
+        except (FileNotFoundError, OSError):
+            detail = "no registry segment (half-published or mid-reap)"
+        else:
+            try:
+                header = _read_header(reg)
+                generation = header.generation
+                live: List[int] = []
+                for slot in range(PLANE_SLOTS):
+                    pid, start_time, nonce = _read_slot(reg, slot)
+                    if nonce == 0:
+                        continue
+                    if _lease_live(pid, start_time):
+                        live.append(pid)
+                    else:
+                        stale_slots += 1
+                live_pids = tuple(live)
+                blob = bytes(
+                    reg.buf[_REG_BLOB_OFFSET : _REG_BLOB_OFFSET + header.blob_len]
+                )
+                handle = pickle.loads(blob)
+                db_name = handle.db_name
+                k = handle.k
+                _verify_plane(handle, header.meta_sha, blob)
+                healthy = True
+            except PlaneCorruptError as exc:
+                detail = str(exc)
+            except Exception as exc:  # unreadable blob and friends
+                detail = f"unreadable registry: {exc}"
+            finally:
+                reg.close()
+        statuses.append(
+            PlaneStatus(
+                digest=digest,
+                db_name=db_name,
+                k=k,
+                generation=generation,
+                num_segments=len(entries),
+                total_bytes=total_bytes,
+                live_pids=live_pids,
+                stale_slots=stale_slots,
+                healthy=healthy,
+                detail=detail,
+            )
+        )
+    return statuses
+
+
+class PlaneRegistry:
+    """Machine-level catalogue of shared database planes.
+
+    :meth:`attach_or_create` is the one entry point: it derives the plane
+    digest from the database fingerprint (word size, sketch size and
+    layout version included), reaps orphans, then — under the plane's file
+    lock — attaches to a healthy existing plane or publishes a fresh one,
+    returning a :class:`PlaneLease` either way. All methods are
+    classmethods; the registry's state *is* ``/dev/shm`` plus the lock
+    files, never this process.
+    """
+
+    @classmethod
+    def attach_or_create(
+        cls,
+        database: "Database",
+        k: int,
+        sketch_size: Optional[int] = None,
+        injector: Optional[object] = None,
+    ) -> PlaneLease:
+        """Share (or publish) the machine-wide plane for ``database``.
+
+        Raises :class:`PlaneCorruptError` when the existing plane fails
+        verification *and* live leaseholders pin it (rebuilding would yank
+        it from under them — the caller falls back to the in-process
+        path); a corrupt plane nobody holds is reaped and rebuilt with a
+        bumped generation. Raises :class:`PlaneBusyError` when all
+        :data:`PLANE_SLOTS` lease slots are held by live processes.
+
+        ``injector`` is a :class:`repro.mapreduce.faults.FaultInjector`
+        consulted at the lifecycle points (``attach``, ``create``,
+        ``publish``, ``claim``) — the fault-matrix tests drive crashes,
+        segment corruption and stale leases through it.
+        """
+        _require_shm()
+        if sketch_size is None:
+            from repro.sketch import SKETCH_SIZE_DEFAULT
+
+            sketch_size = SKETCH_SIZE_DEFAULT
+        # Reap first, outside the target plane's lock: creation is the
+        # natural moment to reclaim crashed sessions' planes, and taking
+        # other planes' locks while holding ours could deadlock a racing
+        # reaper.
+        reap_orphan_planes()
+        fingerprint = database_fingerprint(database)
+        digest = plane_digest(fingerprint, k, sketch_size)
+        with _plane_lock(digest):
+            generation = 1
+            try:
+                reg = attach_segment_untracked(_registry_name(digest))
+            except FileNotFoundError:
+                reg = None
+            if reg is not None:
+                try:
+                    try:
+                        return cls._attach_locked(reg, fingerprint, digest, injector)
+                    except PlaneCorruptError:
+                        if _live_slot_pids(reg) if reg.size >= _REG_BLOB_OFFSET else []:
+                            raise  # live holders pin the corrupt plane
+                        generation = cls._generation_best_effort(reg) + 1
+                finally:
+                    reg.close()
+                # Corrupt and unheld: rebuild in place (lock still held).
+                _sweep_plane_segments(digest)
+            return cls._create_locked(
+                database, k, sketch_size, fingerprint, digest, generation, injector
+            )
+
+    # -- internals (plane lock held) ------------------------------------ #
+
+    @staticmethod
+    def _generation_best_effort(reg: "_shm_module.SharedMemory") -> int:
+        """The old generation if the header is readable enough; else 0."""
+        if reg.size < _REG_HEADER.size:
+            return 0
+        magic, _v, _n, generation, _fp, _sha, _bl = _REG_HEADER.unpack_from(reg.buf, 0)
+        return int(generation) if magic == PLANE_MAGIC else 0
+
+    @classmethod
+    def _attach_locked(
+        cls,
+        reg: "_shm_module.SharedMemory",
+        fingerprint: str,
+        digest: str,
+        injector: Optional[object],
+    ) -> PlaneLease:
+        if injector is not None:
+            spec = injector.fire_plane("attach")
+            if spec is not None and spec.kind == "corrupt-segment":
+                cls._corrupt_for_injection(reg)
+        header = _read_header(reg)
+        if header.fingerprint != fingerprint:
+            raise PlaneCorruptError(
+                f"plane {digest} was published for database fingerprint "
+                f"{header.fingerprint[:12]}…, not {fingerprint[:12]}… — "
+                f"digest collision or scribbled registry"
+            )
+        blob = bytes(reg.buf[_REG_BLOB_OFFSET : _REG_BLOB_OFFSET + header.blob_len])
+        try:
+            handle = pickle.loads(blob)
+        except Exception as exc:
+            raise PlaneCorruptError(
+                f"plane {digest} has an unreadable handle blob: {exc}"
+            ) from exc
+        if not isinstance(handle, SharedDatabaseHandle):
+            raise PlaneCorruptError(
+                f"plane {digest} registry blob is not a SharedDatabaseHandle"
+            )
+        _verify_plane(handle, header.meta_sha, blob)
+        slot, nonce = cls._claim_slot(reg, injector)
+        return PlaneLease(
+            handle=handle,
+            digest=digest,
+            slot=slot,
+            nonce=nonce,
+            created=False,
+            generation=header.generation,
+        )
+
+    @staticmethod
+    def _corrupt_for_injection(reg: "_shm_module.SharedMemory") -> None:
+        """Injected ``corrupt-segment`` fault: scribble the first data segment.
+
+        Reads the (still healthy) handle out of the registry, overwrites
+        the head of its first data segment, and lets the normal
+        verification path discover the damage — the test proves detection,
+        not the scribble.
+        """
+        try:
+            header = _read_header(reg)
+            blob = bytes(reg.buf[_REG_BLOB_OFFSET : _REG_BLOB_OFFSET + header.blob_len])
+            handle = pickle.loads(blob)
+            seg = attach_segment_untracked(handle.segment_names[0])
+        except (PlaneCorruptError, FileNotFoundError, OSError, pickle.PickleError):
+            # Registry already unreadable — corrupt it directly instead.
+            reg.buf[:8] = b"SCRIBBLE"
+            return
+        try:
+            seg.buf[: min(seg.size, 64)] = b"\xa5" * min(seg.size, 64)
+        finally:
+            seg.close()
+
+    @classmethod
+    def _claim_slot(
+        cls, reg: "_shm_module.SharedMemory", injector: Optional[object]
+    ) -> Tuple[int, int]:
+        """Claim the first free-or-stale slot; raises PlaneBusyError."""
+        my_pid = os.getpid()
+        my_start = process_start_time(my_pid)
+        claimed: Optional[Tuple[int, int]] = None
+        for slot in range(PLANE_SLOTS):
+            pid, start_time, nonce = _read_slot(reg, slot)
+            if nonce != 0 and _lease_live(pid, start_time):
+                continue  # held by a validated-live process
+            # Free, or stale (dead pid / recycled pid): claim it. Stale
+            # reclamation here is what makes slot exhaustion a statement
+            # about *live* processes only.
+            new_nonce = _new_nonce()
+            _write_slot(reg, slot, my_pid, my_start, new_nonce)
+            claimed = (slot, new_nonce)
+            break
+        if claimed is None:
+            raise PlaneBusyError(
+                f"all {PLANE_SLOTS} lease slots of plane {reg.name} are held "
+                f"by live processes"
+            )
+        if injector is not None:
+            spec = injector.fire_plane("claim")
+            if spec is not None and spec.kind == "stale-lease":
+                cls._inject_stale_lease(reg, claimed[0])
+        return claimed
+
+    @staticmethod
+    def _inject_stale_lease(reg: "_shm_module.SharedMemory", skip_slot: int) -> None:
+        """Injected ``stale-lease`` fault: a live pid with a wrong start time.
+
+        Simulates pid reuse — the recorded pid is alive (it is ours) but
+        its start time belongs to a long-dead process, so liveness
+        validation must reject it and release/reap must not count it.
+        """
+        my_pid = os.getpid()
+        wrong_start = max(1, process_start_time(my_pid) - 12345)
+        for slot in range(PLANE_SLOTS):
+            if slot == skip_slot:
+                continue
+            _pid, _start, nonce = _read_slot(reg, slot)
+            if nonce == 0:
+                _write_slot(reg, slot, my_pid, wrong_start, _new_nonce())
+                return
+
+    @classmethod
+    def _create_locked(
+        cls,
+        database: "Database",
+        k: int,
+        sketch_size: int,
+        fingerprint: str,
+        digest: str,
+        generation: int,
+        injector: Optional[object],
+    ) -> PlaneLease:
+        if injector is not None:
+            injector.fire_plane("create")  # kill-creator-before-segments
+        names = {
+            kind: f"{PLANE_PREFIX}{digest}_{kind}"
+            for kind in ("codes", "keys", "positions", "sketches")
+        }
+        handle, segments = _publish_database_segments(
+            database,
+            k,
+            sketch_size,
+            plane_id=f"plane-{digest}-g{generation}",
+            segment_names=names,
+            registry_segment=_registry_name(digest),
+        )
+        reg: Optional["_shm_module.SharedMemory"] = None
+        ok = False
+        try:
+            # From here the segments must be tracker-invisible in every
+            # session (see the module docstring); create registered them,
+            # this balances it.
+            for seg in segments:
+                untrack_segment(seg)
+            if injector is not None:
+                # kill-creator-mid-publish: data segments exist, registry
+                # does not — the orphan shape only the /dev/shm scan finds.
+                injector.fire_plane("publish")
+            blob = pickle.dumps(handle)
+            meta_sha = _meta_sha(
+                blob, (bytes(seg.buf[:_PLANE_HEAD_BYTES]) for seg in segments)
+            )
+            reg = create_segment(_REG_BLOB_OFFSET + len(blob), name=_registry_name(digest))
+            untrack_segment(reg)
+            _REG_HEADER.pack_into(
+                reg.buf,
+                0,
+                PLANE_MAGIC,
+                PLANE_LAYOUT_VERSION,
+                PLANE_SLOTS,
+                generation,
+                fingerprint.encode("ascii"),
+                meta_sha,
+                len(blob),
+            )
+            reg.buf[_REG_BLOB_OFFSET : _REG_BLOB_OFFSET + len(blob)] = blob
+            nonce = _new_nonce()
+            _write_slot(reg, 0, os.getpid(), process_start_time(os.getpid()), nonce)
+            lease = PlaneLease(
+                handle=handle,
+                digest=digest,
+                slot=0,
+                nonce=nonce,
+                created=True,
+                generation=generation,
+            )
+            ok = True
+            return lease
+        finally:
+            # The creator keeps no segment mappings of its own: views
+            # attach on demand, and the lease (not this process) owns the
+            # plane's lifetime.
+            for seg in segments:
+                try:
+                    seg.close()
+                except BufferError:  # orionlint: disable=ORL006 # pragma: no cover
+                    pass
+                if not ok:
+                    _unlink_untracked(seg)
+            if reg is not None:
+                reg.close()
+                if not ok:
+                    _unlink_untracked(reg)

@@ -63,6 +63,10 @@ class ServiceConfig:
     ``prune_threshold`` (``None`` = leave each search's own setting alone)
     overrides sketch-based shard pruning on every served search — see
     :mod:`repro.sketch` and ``OrionSearch(prune_threshold=...)``.
+    ``reap_on_start`` runs :func:`repro.mapreduce.shm.reap_orphan_planes`
+    during :meth:`OrionService.start`, reclaiming ``/dev/shm`` segments a
+    crashed previous replica left behind before this one publishes or
+    attaches its planes.
     """
 
     max_inflight: int = 4
@@ -71,6 +75,7 @@ class ServiceConfig:
     breaker_reset_seconds: float = 30.0
     breaker_probes: int = 1
     prune_threshold: Optional[float] = None
+    reap_on_start: bool = True
 
     def __post_init__(self) -> None:
         if self.max_inflight <= 0:
@@ -111,6 +116,14 @@ class ServiceStats:
     shards_searched: int = 0
     shards_pruned: int = 0
     pruned_map_tasks: int = 0
+    #: Shared-plane lifecycle totals across completed queries (see
+    #: :mod:`repro.mapreduce.shm`): how many ran with a plane this replica
+    #: published vs. attached from another process, and how many fell back
+    #: to the in-process database path. Replica sharing and degradation are
+    #: directly observable here.
+    plane_created: int = 0
+    plane_attached: int = 0
+    plane_fallback: int = 0
 
     @property
     def rejected(self) -> int:
@@ -234,6 +247,12 @@ class OrionService:
         # Deferring this to the first queries would fork the workers
         # while sibling threads run — a forked child can inherit a lock
         # held at that instant and deadlock (see WorkerPool.prewarm).
+        if self.config.reap_on_start:
+            # Reclaim any plane a crashed previous replica orphaned before
+            # warmup publishes (or attaches) this replica's planes.
+            from repro.mapreduce.shm import reap_orphan_planes
+
+            reap_orphan_planes()
         if self.config.prune_threshold is not None:
             for search in self._searches.values():
                 search.prune_threshold = self.config.prune_threshold
@@ -388,6 +407,13 @@ class OrionService:
                 self.stats.shards_pruned += getattr(result, "shards_pruned", 0)
                 self.stats.pruned_map_tasks += getattr(
                     result, "pruned_map_tasks", 0
+                )
+                self.stats.plane_created += getattr(result, "plane_created", 0)
+                self.stats.plane_attached += getattr(
+                    result, "plane_attached", 0
+                )
+                self.stats.plane_fallback += getattr(
+                    result, "plane_fallback", 0
                 )
                 if not admission.future.done():
                     admission.future.set_result(result)

@@ -18,7 +18,10 @@ from repro.analysis.rules.mapreduce_rules import (
     TaskCallableMutationRule,
     TaskCallablePicklableRule,
 )
-from repro.analysis.rules.resource_rules import SharedMemoryLifecycleRule
+from repro.analysis.rules.resource_rules import (
+    PlaneLeaseLifecycleRule,
+    SharedMemoryLifecycleRule,
+)
 from repro.analysis.rules.robustness_rules import RetryBackoffRule
 
 
@@ -31,9 +34,9 @@ def rule_ids(findings):
 
 
 class TestDefaultRuleSet:
-    def test_nine_rules_in_id_order(self):
+    def test_ten_rules_in_id_order(self):
         ids = [r.rule_id for r in default_rules()]
-        assert ids == [f"ORL00{i}" for i in range(1, 10)]
+        assert ids == [f"ORL00{i}" for i in range(1, 10)] + ["ORL010"]
         assert ids == sorted(ids)
 
     def test_every_rule_documents_its_invariant(self):
@@ -544,6 +547,114 @@ class TestORL008SharedMemoryLifecycle:
             """\
             def build(name):
                 return SomeFactory(name=name)
+            """,
+        )
+        assert findings == []
+
+
+class TestORL010PlaneLeaseLifecycle:
+    def test_unpaired_attach_or_create_flagged(self):
+        findings = run_rule(
+            PlaneLeaseLifecycleRule(),
+            """\
+            from repro.mapreduce.shm import PlaneRegistry
+
+            def search(db, k):
+                lease = PlaneRegistry.attach_or_create(db, k)
+                return run_with(lease.handle)
+            """,
+        )
+        assert rule_ids(findings) == ["ORL010"]
+        assert "release" in findings[0].message
+
+    def test_release_in_finally_ok(self):
+        findings = run_rule(
+            PlaneLeaseLifecycleRule(),
+            """\
+            from repro.mapreduce.shm import PlaneRegistry
+
+            def search(db, k):
+                lease = PlaneRegistry.attach_or_create(db, k)
+                try:
+                    return run_with(lease.handle)
+                finally:
+                    lease.release()
+            """,
+        )
+        assert findings == []
+
+    def test_context_manager_ok(self):
+        findings = run_rule(
+            PlaneLeaseLifecycleRule(),
+            """\
+            from repro.mapreduce.shm import PlaneRegistry
+
+            def search(db, k):
+                with PlaneRegistry.attach_or_create(db, k) as lease:
+                    return run_with(lease.handle)
+            """,
+        )
+        assert findings == []
+
+    def test_reap_in_finally_ok(self):
+        findings = run_rule(
+            PlaneLeaseLifecycleRule(),
+            """\
+            from repro.mapreduce.shm import PlaneRegistry, reap_orphan_planes
+
+            def search(db, k):
+                lease = PlaneRegistry.attach_or_create(db, k)
+                try:
+                    return run_with(lease.handle)
+                finally:
+                    reap_orphan_planes()
+            """,
+        )
+        assert findings == []
+
+    def test_nested_def_is_its_own_scope(self):
+        findings = run_rule(
+            PlaneLeaseLifecycleRule(),
+            """\
+            from repro.mapreduce.shm import PlaneRegistry
+
+            def outer():
+                lease = None
+                try:
+                    pass
+                finally:
+                    if lease is not None:
+                        lease.release()
+
+                def inner(db, k):
+                    return PlaneRegistry.attach_or_create(db, k)
+
+                return inner
+            """,
+        )
+        assert rule_ids(findings) == ["ORL010"]
+
+    def test_waiver_comment_suppresses(self):
+        findings = run_rule(
+            PlaneLeaseLifecycleRule(),
+            """\
+            from repro.mapreduce.shm import PlaneRegistry
+
+            def adopt(self, db, k):
+                self._lease = PlaneRegistry.attach_or_create(  # orionlint: disable=ORL010
+                    db, k
+                )
+            """,
+        )
+        assert rule_ids(findings) == ["ORL010"]
+        assert findings[0].suppressed  # waived, does not fail the run
+
+    def test_unrelated_call_ok(self):
+        findings = run_rule(
+            PlaneLeaseLifecycleRule(),
+            """\
+            def build(name):
+                return SomeFactory.attach(name=name)
             """,
         )
         assert findings == []

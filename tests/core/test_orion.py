@@ -219,7 +219,7 @@ class TestPersistentPool:
         )
         try:
             r1 = search.run(query)
-            assert search._plane is not None
+            assert search._lease is not None
             names = search._shm_handle.segment_names
             search.close()
             assert not any(segment_exists(n) for n in names)
@@ -237,7 +237,7 @@ class TestPersistentPool:
             search.run(query)
             pool = search._pool
             assert pool is not None
-        assert search._pool is None and search._plane is None
+        assert search._pool is None and search._lease is None
         assert not pool.started
 
 

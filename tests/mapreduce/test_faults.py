@@ -70,6 +70,33 @@ class TestFaultSpec:
         with pytest.raises(ValueError, match="kind"):
             FaultSpec(phase="map", kind="explode")
 
+    def test_plane_phase_validates_kind_and_point(self):
+        spec = FaultSpec(phase="plane", kind="corrupt-segment", point="attach")
+        assert spec.point == "attach"
+        FaultSpec(phase="plane", kind="stale-lease")  # point=None wildcards
+        with pytest.raises(ValueError, match="plane fault kind"):
+            FaultSpec(phase="plane", kind="transient")
+        with pytest.raises(ValueError, match="plane fault point"):
+            FaultSpec(phase="plane", kind="crash", point="teardown")
+        with pytest.raises(ValueError, match="phase='plane'"):
+            FaultSpec(phase="map", kind="crash", point="attach")
+
+    def test_plane_fault_addressed_by_point(self):
+        from repro.mapreduce.faults import FaultInjector
+
+        inj = FaultInjector(
+            specs=(FaultSpec(phase="plane", kind="stale-lease", point="claim"),)
+        )
+        assert inj.plane_fault("claim") is not None
+        assert inj.plane_fault("attach") is None
+        # Plane specs never leak into task addressing, and vice versa.
+        assert inj.fault_for("map", 0, 1) is None
+        wildcard = FaultInjector(
+            specs=(FaultSpec(phase="plane", kind="corrupt-segment"),)
+        )
+        assert wildcard.plane_fault("attach") is not None
+        assert wildcard.plane_fault("publish") is not None
+
     def test_pinned_address_matches_exactly(self):
         spec = FaultSpec(phase="map", kind="transient", index=3, attempt=2)
         assert spec.matches("map", 3, 2)

@@ -182,6 +182,16 @@ class TestPlane:
         with pytest.raises(SharedMemoryUnavailable):
             plane.acquire()
 
+    def test_over_release_raises_instead_of_going_negative(self, db):
+        """Releasing more times than acquired must raise, not silently drive
+        the refcount negative (a double-release bug in one consumer would
+        otherwise destroy a plane other consumers still hold)."""
+        plane = SharedDatabasePlane.create(db, K)
+        plane.release()  # balances create; destroys the plane
+        assert plane.destroyed
+        with pytest.raises(RuntimeError, match="over-released"):
+            plane.release()
+
     def test_handle_pickles_small(self, db):
         import pickle
 

@@ -280,7 +280,7 @@ class TestServiceEquivalence:
         assert service.stats.rejected == 0
         # Drained shutdown released the plane and the pool: no new segments.
         assert service.state == "closed"
-        assert search._pool is None and search._plane is None
+        assert search._pool is None and search._lease is None
         assert _orion_segments() - before == set()
 
     def test_start_prewarms_plane_and_workers(self, small_db):
@@ -297,7 +297,7 @@ class TestServiceEquivalence:
 
         async def main():
             async with service:
-                assert search._plane is not None
+                assert search._lease is not None
                 pool = search._pool
                 assert pool is not None
                 inner = pool._pool  # the ProcessPoolExecutor itself exists...
@@ -305,7 +305,7 @@ class TestServiceEquivalence:
                 assert len(inner._processes) == 2  # ...with live workers
 
         asyncio.run(main())
-        assert search._pool is None and search._plane is None
+        assert search._pool is None and search._lease is None
 
     def test_drain_waits_for_inflight_work(self):
         async def main():
@@ -428,3 +428,69 @@ class TestPruningService:
         assert service.stats.pruned_map_tasks == 0
         assert service.stats.shards_pruned == 0
         assert service.stats.shards_searched == 8
+
+
+class TestPlaneLifecycleService:
+    """Plane counters flow into ServiceStats; start() reaps orphans."""
+
+    @pytest.fixture(scope="class")
+    def plane_db(self):
+        return make_database(seed=31, num_sequences=4, mean_length=1200, name="planedb")
+
+    def test_plane_counters_accumulate_in_stats(self, plane_db):
+        pytest.importorskip("multiprocessing.shared_memory")
+        search = OrionSearch(
+            database=plane_db, num_shards=2, executor="processes", num_workers=2
+        )
+        service = OrionService(search, ServiceConfig(max_inflight=2))
+        rec = plane_db.records[0]
+        queries = [rec.slice(0, min(800, len(rec)), seq_id=f"q{i}") for i in range(2)]
+
+        async def main():
+            async with service:
+                return await asyncio.gather(*(service.submit(q) for q in queries))
+
+        results = asyncio.run(main())
+        # The service's one search created the plane once; every result it
+        # produces carries that mode, and the stats tally each of them.
+        assert all(r.plane_created == 1 for r in results)
+        assert all(r.plane_fallback == 0 for r in results)
+        assert service.stats.plane_created == len(queries)
+        assert service.stats.plane_attached == 0
+        assert service.stats.plane_fallback == 0
+
+    def test_start_reaps_orphans_by_default(self, monkeypatch):
+        from repro.mapreduce import shm as shm_mod
+
+        calls = []
+        monkeypatch.setattr(
+            shm_mod, "reap_orphan_planes", lambda: calls.append(1) or []
+        )
+        fake = _BlockingSearch()
+
+        async def main():
+            service = OrionService({"db": fake}, ServiceConfig(max_inflight=1))
+            await service.start()
+            await service.aclose()
+
+        asyncio.run(main())
+        assert calls == [1]
+
+    def test_reap_on_start_can_be_disabled(self, monkeypatch):
+        from repro.mapreduce import shm as shm_mod
+
+        calls = []
+        monkeypatch.setattr(
+            shm_mod, "reap_orphan_planes", lambda: calls.append(1) or []
+        )
+        fake = _BlockingSearch()
+
+        async def main():
+            service = OrionService(
+                {"db": fake}, ServiceConfig(max_inflight=1, reap_on_start=False)
+            )
+            await service.start()
+            await service.aclose()
+
+        asyncio.run(main())
+        assert calls == []

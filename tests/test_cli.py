@@ -117,3 +117,58 @@ class TestParser:
     def test_experiment_choices(self):
         with pytest.raises(SystemExit):
             main(["experiment", "fig99"])
+
+
+class TestPlane:
+    @pytest.fixture
+    def shm(self):
+        from repro.mapreduce import shm as shm_mod
+
+        if not shm_mod.HAVE_SHARED_MEMORY:
+            pytest.skip("platform lacks POSIX shared memory")
+        shm_mod.reap_orphan_planes()  # leftovers from earlier crashes/tests
+        yield shm_mod
+        shm_mod.reap_orphan_planes()
+
+    def test_ls_empty_and_reap_nothing(self, shm, capsys):
+        assert main(["plane", "ls"]) == 0
+        assert "no shared database planes" in capsys.readouterr().out
+        assert main(["plane", "reap"]) == 0
+        assert "nothing to reap" in capsys.readouterr().out
+
+    def test_ls_shows_held_plane_and_reap_skips_it(self, shm, capsys):
+        from repro.sequence.generator import make_database
+
+        db = make_database(61, num_sequences=3, mean_length=300, name="clidb")
+        with shm.PlaneRegistry.attach_or_create(db, 9):
+            assert main(["plane", "ls"]) == 0
+            out = capsys.readouterr().out
+            assert "clidb" in out
+            assert "healthy" in out
+            assert main(["plane", "reap"]) == 0
+            assert "nothing to reap" in capsys.readouterr().out
+
+    def test_reap_reclaims_orphan(self, shm, capsys):
+        import os
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.mapreduce.shm import PlaneRegistry\n"
+            "from repro.sequence.generator import make_database\n"
+            "db = make_database(61, num_sequences=3, mean_length=300)\n"
+            "PlaneRegistry.attach_or_create(db, 9)\n"
+            "import os; os._exit(9)\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(
+            os.path.join(os.path.dirname(shm.__file__), "..", "..")
+        )
+        subprocess.run([sys.executable, "-c", script], env=env, check=False)
+        assert main(["plane", "ls"]) == 0
+        assert "reapable" in capsys.readouterr().out
+        assert main(["plane", "reap"]) == 0
+        out = capsys.readouterr().out
+        assert "reaped" in out and "orionplane_" in out
+        assert main(["plane", "ls"]) == 0
+        assert "no shared database planes" in capsys.readouterr().out
